@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Ablation (Table 2 "Location"): per-device vs centralized checker
+ * placement, and per-SID vs global blocking (§5.3).
+ *
+ * Per-device checkers intercept each master before the crossbar, so a
+ * blocked or slow device never occupies shared fabric; a centralized
+ * checker sits between the crossbar and memory, costing one shared
+ * queueing point. Blocking granularity: per-SID blocking freezes only
+ * the device being reconfigured; a global block (TrustZone-style
+ * whole-world quiesce) stalls every master for the duration.
+ */
+
+#include <cstdio>
+
+#include "devices/dma_engine.hh"
+#include "soc/soc.hh"
+
+using namespace siopmp;
+
+namespace {
+
+constexpr Addr kWindowA = 0x8000'0000;
+constexpr Addr kWindowB = 0x8800'0000;
+
+struct Result {
+    Cycle a_cycles;
+    Cycle b_cycles;
+};
+
+/** Two devices stream reads; optionally SID 0 is blocked mid-run. */
+Result
+run(bool centralized, bool block_sid0, bool block_all)
+{
+    soc::SocConfig cfg;
+    cfg.num_masters = 2;
+    cfg.centralized_checker = centralized;
+    soc::Soc soc(cfg);
+
+    auto &unit = soc.iopmp();
+    // MD0 owns entries [0, 8), MD1 owns [8, 16).
+    unit.mdcfg().setTop(0, 8);
+    for (MdIndex md = 1; md < unit.config().num_mds; ++md)
+        unit.mdcfg().setTop(md, 16);
+    unit.cam().set(0, 1);
+    unit.cam().set(1, 2);
+    unit.src2md().associate(0, 0);
+    unit.src2md().associate(1, 1);
+    unit.entryTable().set(
+        0, iopmp::Entry::range(kWindowA, 0x10'0000, Perm::ReadWrite));
+    unit.entryTable().set(
+        8, iopmp::Entry::range(kWindowB, 0x10'0000, Perm::ReadWrite));
+
+    dev::DmaEngine a("dmaA", 1, soc.masterLink(0));
+    dev::DmaEngine b("dmaB", 2, soc.masterLink(1));
+    soc.add(&a);
+    soc.add(&b);
+
+    dev::DmaJob job;
+    job.kind = dev::DmaKind::Read;
+    job.src = kWindowA;
+    job.bytes = 512 * 64;
+    job.max_outstanding = 4;
+    a.start(job, 0);
+    job.src = kWindowB;
+    b.start(job, 0);
+
+    // Mid-run, block for a fixed window of 2000 cycles.
+    soc.sim().run(500);
+    if (block_sid0)
+        unit.blockBitmap().block(0);
+    if (block_all)
+        unit.blockBitmap().blockAll();
+    soc.sim().run(2000);
+    unit.blockBitmap().unblockAll();
+
+    soc.sim().runUntil([&] { return a.done() && b.done(); }, 2'000'000);
+    return {a.completedAt() - a.startedAt(),
+            b.completedAt() - b.startedAt()};
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Ablation: checker placement and blocking granularity\n\n");
+
+    std::printf("%-34s %12s %12s\n", "configuration", "devA cycles",
+                "devB cycles");
+    const Result per_dev = run(false, false, false);
+    const Result central = run(true, false, false);
+    std::printf("%-34s %12llu %12llu\n", "per-device checker",
+                static_cast<unsigned long long>(per_dev.a_cycles),
+                static_cast<unsigned long long>(per_dev.b_cycles));
+    std::printf("%-34s %12llu %12llu\n", "centralized checker",
+                static_cast<unsigned long long>(central.a_cycles),
+                static_cast<unsigned long long>(central.b_cycles));
+
+    const Result blocked_sid = run(false, true, false);
+    const Result blocked_all = run(false, false, true);
+    std::printf("%-34s %12llu %12llu\n", "per-SID block of devA (2k cyc)",
+                static_cast<unsigned long long>(blocked_sid.a_cycles),
+                static_cast<unsigned long long>(blocked_sid.b_cycles));
+    std::printf("%-34s %12llu %12llu\n", "global block (2k cyc)",
+                static_cast<unsigned long long>(blocked_all.a_cycles),
+                static_cast<unsigned long long>(blocked_all.b_cycles));
+
+    std::printf(
+        "\nReading: under a per-SID block only devA stalls — devB "
+        "actually finishes EARLIER\nthan the contended baseline because "
+        "it inherits devA's memory bandwidth, and devA\nrecovers the "
+        "stall the same way once unblocked. A global block (the "
+        "alternative\nsIOPMP rejects) delays every device by the full "
+        "blocking window. Checker placement\nis performance-neutral "
+        "here because the shared memory port, not the checker,\nis the "
+        "bottleneck — which is why the paper evaluates both.\n");
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the host-side cost of the
+ * checker logic itself (functional model speed, not simulated cycles).
+ * Useful for keeping the simulator fast: the checker runs on every
+ * simulated DMA beat, so its host cost bounds simulation throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "iopmp/checker.hh"
+#include "iopmp/linear_checker.hh"
+#include "iopmp/pipelined_checker.hh"
+#include "iopmp/tree_checker.hh"
+#include "sim/random.hh"
+
+using namespace siopmp;
+using namespace siopmp::iopmp;
+
+namespace {
+
+struct Fixture {
+    explicit Fixture(unsigned n) : entries(n), mdcfg(63, n)
+    {
+        Rng rng(1);
+        for (MdIndex md = 0; md < 63; ++md)
+            mdcfg.setTop(md, (md + 1) * n / 63);
+        for (unsigned i = 0; i < n; ++i) {
+            entries.set(i, Entry::range(rng.below(1 << 20) * 8,
+                                        (1 + rng.below(256)) * 8,
+                                        Perm::ReadWrite));
+        }
+    }
+
+    EntryTable entries;
+    MdCfgTable mdcfg;
+};
+
+template <typename MakeChecker>
+void
+runCheck(benchmark::State &state, MakeChecker make)
+{
+    const unsigned n = static_cast<unsigned>(state.range(0));
+    Fixture fixture(n);
+    auto checker = make(fixture);
+    Rng rng(2);
+    for (auto _ : state) {
+        CheckRequest req;
+        req.addr = rng.below(1 << 23);
+        req.len = 64;
+        req.perm = Perm::Read;
+        req.md_bitmap = ~std::uint64_t{0} >> 1;
+        benchmark::DoNotOptimize(checker->check(req));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_LinearChecker(benchmark::State &state)
+{
+    runCheck(state, [](Fixture &f) {
+        return makeChecker(CheckerKind::Linear, 1, f.entries, f.mdcfg);
+    });
+}
+
+void
+BM_TreeChecker(benchmark::State &state)
+{
+    runCheck(state, [](Fixture &f) {
+        return makeChecker(CheckerKind::Tree, 1, f.entries, f.mdcfg);
+    });
+}
+
+void
+BM_MtChecker3Stage(benchmark::State &state)
+{
+    runCheck(state, [](Fixture &f) {
+        return makeChecker(CheckerKind::PipelineTree, 3, f.entries,
+                           f.mdcfg);
+    });
+}
+
+} // namespace
+
+BENCHMARK(BM_LinearChecker)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_TreeChecker)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_MtChecker3Stage)->Arg(64)->Arg(256)->Arg(1024);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Fig 13 reproduction: IOPMP modification latency. The secure monitor
+ * rewrites k entries of a hot device's memory domain under the per-SID
+ * block (Atomic-k), or without blocking (No-atomic — insecure, shown
+ * for reference). Costs come from real MMIO accesses (2 cycles each)
+ * plus the documented software overheads, reproducing the paper's
+ * "blocking adds 35 CPU cycles, each entry modification takes 14".
+ *
+ * Also reports the cold-device switching cost (paper: 341 cycles for 8
+ * entries) since it is built from the same primitives (§6.3).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "fw/monitor.hh"
+#include "soc/soc.hh"
+#include "workloads/hotcold.hh"
+
+using namespace siopmp;
+
+namespace {
+
+Cycle
+modificationCost(unsigned entries, bool atomic)
+{
+    soc::SocConfig cfg;
+    // The Fig 13 experiment needs a wide MD window (up to 128 entries
+    // for one device), so configure fewer, larger memory domains.
+    cfg.iopmp.num_mds = 4;
+    cfg.iopmp.num_sids = 5;
+    soc::Soc soc(cfg);
+    fw::MonitorConfig mcfg;
+    mcfg.entries_per_hot_md = 128;
+    fw::SecureMonitor monitor(&soc.iopmp(), &soc.mmio(),
+                              soc::kIopmpMmioBase, nullptr,
+                              &soc.monitor(), mcfg);
+    monitor.init({0x8000'0000, 0x4000'0000}, {0x7000'0000, 0x1000});
+    soc.iopmp().cam().set(0, /*device=*/1);
+
+    std::vector<iopmp::Entry> rules;
+    for (unsigned i = 0; i < entries; ++i) {
+        rules.push_back(iopmp::Entry::range(0x8000'0000 + i * 0x1000,
+                                            0x1000, Perm::ReadWrite));
+    }
+    auto result = monitor.modifyEntries(1, rules, atomic);
+    return result.ok ? result.cost : 0;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Figure 13: IOPMP modification latency (CPU cycles)\n");
+    std::printf("%-14s %10s\n", "config", "cycles");
+    std::printf("%-14s %10llu\n", "No-atomic(4)",
+                static_cast<unsigned long long>(modificationCost(4, false)));
+    for (unsigned k : {4u, 8u, 16u, 32u, 64u, 128u}) {
+        std::printf("Atomic-%-7u %10llu\n", k,
+                    static_cast<unsigned long long>(
+                        modificationCost(k, true)));
+    }
+
+    std::printf("\nCold device switching (trap + mount from the extended "
+                "table):\n");
+    for (unsigned k : {1u, 4u, 8u, 16u}) {
+        std::printf("  %2u entries: %llu cycles\n", k,
+                    static_cast<unsigned long long>(wl::coldSwitchCost(k)));
+    }
+
+    std::printf("\nPaper anchors: blocking 35 cycles, 14 cycles/entry "
+                "(Atomic-64 < 1000);\ncold switch 341 cycles for 8 "
+                "entries. IOTLB invalidation, by contrast, is\n"
+                "asynchronous with up-to-millisecond latency.\n");
+    return 0;
+}

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Cycle-level companion to Fig 15. The analytic fig15_network bench
+ * models per-packet costs against a CPU budget; this harness instead
+ * streams real packets through the cycle-accurate NIC + sIOPMP SoC:
+ *
+ *  - static:   one standing IOPMP entry covers the whole RX region
+ *              (fixed mapping, the shadow-buffer/DAMN deployment);
+ *  - dynamic:  every packet gets its own sub-page entry installed
+ *              before delivery and torn down after completion (strict
+ *              per-packet isolation, the paper's dma_map/unmap-per-
+ *              packet case). The driver cycles through a ring of
+ *              entry slots inside the NIC's memory domain, exactly
+ *              like kernel dma_unmap delegation (§6.3): each install
+ *              and each teardown is a single-entry staged-commit,
+ *              which is atomic by construction and needs NO per-SID
+ *              blocking — that is the design point that makes dynamic
+ *              isolation free on the device side;
+ *  - none:     protection disabled (checker wide open) as baseline.
+ *
+ * The paper's claim reproduced mechanistically: the device-visible
+ * cost of per-packet isolation is zero (entry rewrites are synchronous
+ * CPU work off the DMA path), so all three modes hit the same
+ * cycle count; the CPU-side 28 cycles/packet only matters when the
+ * CPU is the bottleneck, which is the analytic fig15_network bench.
+ */
+
+#include <cstdio>
+
+#include "devices/nic.hh"
+#include "soc/soc.hh"
+
+using namespace siopmp;
+
+namespace {
+
+constexpr DeviceId kNic = 3;
+constexpr Addr kRxRing = 0x8000'1000;
+constexpr Addr kRxBuf = 0x8020'0000;
+constexpr unsigned kPackets = 400;
+constexpr unsigned kPacketBytes = 1536;
+
+enum class Mode { None, Static, Dynamic };
+
+Cycle
+run(Mode mode)
+{
+    soc::SocConfig cfg;
+    cfg.checker_kind = iopmp::CheckerKind::PipelineTree;
+    cfg.checker_stages = 2;
+    soc::Soc soc(cfg);
+
+    dev::NicConfig nic_cfg;
+    nic_cfg.rx_ring = kRxRing;
+    nic_cfg.tx_ring = 0x8000'0000;
+    nic_cfg.rx_ring_entries = 256;
+    dev::Nic nic("nic0", kNic, soc.masterLink(0), nic_cfg);
+    soc.add(&nic);
+
+    auto &unit = soc.iopmp();
+    unit.cam().set(0, kNic);
+    unit.src2md().associate(0, 0);
+    for (MdIndex md = 0; md < unit.config().num_mds; ++md)
+        unit.mdcfg().setTop(md, 16);
+    // Ring always reachable.
+    unit.entryTable().set(
+        0, iopmp::Entry::range(0x8000'0000, 0x2000, Perm::ReadWrite));
+    if (mode != Mode::Dynamic) {
+        // Standing rule over the whole buffer region (or, for None,
+        // over all of DRAM).
+        const Addr size = mode == Mode::None ? 0x4000'0000 : 0x0100'0000;
+        const Addr base = mode == Mode::None ? 0x8000'0000 : kRxBuf;
+        unit.entryTable().set(
+            1, iopmp::Entry::range(base, size, Perm::ReadWrite));
+    }
+
+    auto &sim = soc.sim();
+    unsigned injected = 0;
+    unsigned torn_down = 0;
+    const Cycle start = sim.now();
+    while (nic.rxPackets() < kPackets && sim.now() < 10'000'000) {
+        // Keep a small window of in-flight packets (8 entry slots).
+        if (injected < kPackets && injected < nic.rxPackets() + 4) {
+            const Addr buf = kRxBuf + (injected % 64) * 0x1000;
+            soc.memory().write64(
+                kRxRing + (injected % 256) * dev::NicDescriptor::kBytes,
+                buf);
+            soc.memory().write64(
+                kRxRing + (injected % 256) * dev::NicDescriptor::kBytes +
+                    8,
+                4096);
+            if (mode == Mode::Dynamic) {
+                // dma_map: install this packet's private sub-page rule
+                // in its slot. Single-entry staged commit: atomic, no
+                // blocking, invisible to in-flight DMA of other slots.
+                unit.entryTable().set(
+                    1 + (injected % 8),
+                    iopmp::Entry::range(buf, kPacketBytes, Perm::Write));
+            }
+            nic.postRx(1);
+            nic.injectRxPacket(kPacketBytes, 0xab);
+            ++injected;
+        }
+        // dma_unmap: tear down slots of completed packets.
+        if (mode == Mode::Dynamic) {
+            while (torn_down < nic.rxPackets()) {
+                unit.entryTable().clear(1 + (torn_down % 8));
+                ++torn_down;
+            }
+        }
+        sim.step();
+    }
+    return sim.now() - start;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Figure 15 (cycle-level companion): NIC RX of %u x %u B "
+                "packets\n\n",
+                kPackets, kPacketBytes);
+    const Cycle none = run(Mode::None);
+    const Cycle fixed = run(Mode::Static);
+    const Cycle dynamic = run(Mode::Dynamic);
+
+    auto pct = [&](Cycle c) {
+        return 100.0 * static_cast<double>(none) /
+               static_cast<double>(c);
+    };
+    std::printf("%-34s %12s %10s\n", "mode", "cycles", "tput %");
+    std::printf("%-34s %12llu %9.1f%%\n", "no protection",
+                static_cast<unsigned long long>(none), pct(none));
+    std::printf("%-34s %12llu %9.1f%%\n", "sIOPMP, static region",
+                static_cast<unsigned long long>(fixed), pct(fixed));
+    std::printf("%-34s %12llu %9.1f%%\n",
+                "sIOPMP, per-packet map/unmap",
+                static_cast<unsigned long long>(dynamic), pct(dynamic));
+
+    std::printf("\nPaper claim at cycle level: strict per-packet dynamic "
+                "isolation is free on the\ndevice side — single-entry "
+                "rewrites are atomic staged commits off the DMA path.\n"
+                "The 28 cycles/packet of CPU work only shows up when the "
+                "CPU is the bottleneck\n(the analytic fig15_network "
+                "harness).\n");
+    return 0;
+}

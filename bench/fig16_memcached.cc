@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Fig 16 reproduction: memcached request latency (p50 and p99) under
+ * increasing offered QPS, with and without sIOPMP protection, 4 worker
+ * threads. The paper's claim: the sIOPMP curves overlay the
+ * unprotected curves at every load point — same knee, same tails.
+ */
+
+#include <cstdio>
+
+#include "workloads/memcached.hh"
+
+using namespace siopmp;
+using wl::Protection;
+
+int
+main()
+{
+    std::printf("Figure 16: memcached latency vs QPS (4 threads)\n");
+    std::printf("%-10s | %12s %12s | %12s %12s\n", "QPS",
+                "p50 w/o (us)", "p50 sIOPMP", "p99 w/o (us)",
+                "p99 sIOPMP");
+
+    wl::MemcachedConfig cfg;
+    const double lo = 5'000, hi = 45'000;
+    const unsigned steps = 9;
+
+    auto none = wl::runMemcachedSweep(Protection::None, lo, hi, steps, cfg);
+    auto prot =
+        wl::runMemcachedSweep(Protection::Siopmp, lo, hi, steps, cfg);
+
+    for (unsigned i = 0; i < steps; ++i) {
+        std::printf("%-10.0f | %12.0f %12.0f | %12.0f %12.0f\n",
+                    none[i].offered_qps, none[i].p50_us, prot[i].p50_us,
+                    none[i].p99_us, prot[i].p99_us);
+    }
+
+    std::printf("\nPaper shape: flat latency until the saturation knee "
+                "(~40-45k QPS), then a sharp\nrise; sIOPMP matches the "
+                "unprotected curve for both percentiles at every load.\n");
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Fig 17 reproduction: cold-device switching overhead. A hot device
+ * streams DMA while a cold device interjects one burst per N hot
+ * bursts. With correct status (hot device in a CAM row, cold device
+ * mounted through the eSID slot) the hot device keeps ~100% of its
+ * solo throughput at every ratio. With both devices wrongly marked
+ * cold, each alternation thrashes the eSID slot and the "hot" device
+ * collapses — the paper reports ~85% of throughput wasted at 1:10.
+ */
+
+#include <cstdio>
+
+#include "workloads/hotcold.hh"
+
+using namespace siopmp;
+
+int
+main()
+{
+    std::printf("Figure 17: hot-device I/O throughput vs DMA ratio\n");
+    std::printf("%-12s %22s %26s\n", "ratio",
+                "hot-cold (matched) %", "cold-cold (mismatched) %");
+
+    const unsigned ratios[] = {10'000, 1'000, 100, 10};
+    for (unsigned ratio : ratios) {
+        wl::HotColdConfig cfg;
+        cfg.ratio = ratio;
+        cfg.hot_bursts = ratio >= 1000 ? 4 * ratio : 4000;
+
+        cfg.matched = true;
+        const auto matched = wl::runHotCold(cfg);
+        cfg.matched = false;
+        const auto mismatched = wl::runHotCold(cfg);
+
+        std::printf("1:%-10u %21.1f%% %25.1f%%\n", ratio,
+                    matched.hot_throughput_pct,
+                    mismatched.hot_throughput_pct);
+    }
+
+    std::printf("\nCold switch cost: %llu cycles for 8 entries "
+                "(paper: 341).\n",
+                static_cast<unsigned long long>(wl::coldSwitchCost(8)));
+    std::printf("Paper shape: matched ~100%% at all ratios; mismatched "
+                "degrades with frequency,\ndown to ~15%% at 1:10.\n");
+    return 0;
+}

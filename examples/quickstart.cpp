@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Quickstart: the smallest end-to-end sIOPMP program.
+ *
+ * Builds the simulated SoC, grants a DMA engine a memory window
+ * through the IOPMP tables, performs a real DMA copy, then shows the
+ * checker blocking an access outside the granted window.
+ *
+ *   $ ./quickstart
+ */
+
+#include <cstdio>
+
+#include "devices/dma_engine.hh"
+#include "soc/soc.hh"
+
+using namespace siopmp;
+
+int
+main()
+{
+    // 1. Build an SoC: one DMA master port, MT checker (2-stage
+    //    pipelined tree), bus-error violation handling.
+    soc::SocConfig cfg;
+    cfg.checker_kind = iopmp::CheckerKind::PipelineTree;
+    cfg.checker_stages = 2;
+    soc::Soc soc(cfg);
+
+    // 2. Plug a DMA engine into master port 0.
+    dev::DmaEngine dma("dma0", /*device id=*/1, soc.masterLink(0));
+    soc.add(&dma);
+
+    // 3. Configure the IOPMP: device 1 -> SID 0 (CAM row), SID 0 ->
+    //    memory domain 0 (SRC2MD), MD0 owns entries [0, 8) (MDCFG),
+    //    and entry 0 grants read/write on a 1 MiB window.
+    auto &iopmp = soc.iopmp();
+    iopmp.cam().set(/*sid=*/0, /*device=*/1);
+    iopmp.src2md().associate(/*sid=*/0, /*md=*/0);
+    for (MdIndex md = 0; md < iopmp.config().num_mds; ++md)
+        iopmp.mdcfg().setTop(md, 8);
+    iopmp.entryTable().set(
+        0, iopmp::Entry::range(0x8000'0000, 0x0010'0000,
+                               Perm::ReadWrite));
+
+    // 4. Put data in memory and run a real DMA copy through the
+    //    checker, crossbar and memory controller.
+    for (Addr off = 0; off < 512; off += 8)
+        soc.memory().write64(0x8000'0000 + off, 0x1234'0000 + off);
+
+    dev::DmaJob copy;
+    copy.kind = dev::DmaKind::Copy;
+    copy.src = 0x8000'0000;
+    copy.dst = 0x8008'0000;
+    copy.bytes = 512;
+    copy.max_outstanding = 4;
+    dma.start(copy, soc.sim().now());
+    soc.sim().runUntil([&] { return dma.done(); });
+
+    std::printf("copy finished in %llu cycles; dst[0] = %#llx\n",
+                static_cast<unsigned long long>(dma.completedAt() -
+                                                dma.startedAt()),
+                static_cast<unsigned long long>(
+                    soc.memory().read64(0x8008'0000)));
+
+    // 5. Now try to read outside the granted window: the checker
+    //    denies it and the violation is latched for the monitor.
+    dev::DmaJob attack;
+    attack.kind = dev::DmaKind::Read;
+    attack.src = 0x9000'0000; // not covered by any entry
+    attack.bytes = 64;
+    dma.start(attack, soc.sim().now());
+    soc.sim().runUntil([&] { return dma.done(); });
+
+    std::printf("illegal read: %llu denied response(s)\n",
+                static_cast<unsigned long long>(dma.deniedResponses()));
+    if (auto violation = soc.iopmp().violationRecord()) {
+        std::printf("violation latched: device=%llu addr=%#llx perm=%s\n",
+                    static_cast<unsigned long long>(violation->device),
+                    static_cast<unsigned long long>(violation->addr),
+                    permName(violation->attempted));
+    }
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Registered FIFO used to connect clocked components. Items pushed
+ * during a cycle become visible to the consumer only after clock(),
+ * which models a register stage and keeps the simulation deterministic
+ * regardless of component tick order.
+ *
+ * Occupancy accounting is also registered: canPush() uses the occupancy
+ * snapshot taken at the last clock edge, so a producer cannot observe a
+ * pop that happened earlier in the same cycle. This is exactly the
+ * behaviour of a ready/valid skid buffer with registered ready.
+ */
+
+#ifndef BUS_FIFO_HH
+#define BUS_FIFO_HH
+
+#include <cstddef>
+#include <deque>
+
+#include "sim/logging.hh"
+
+namespace siopmp {
+namespace bus {
+
+template <typename T>
+class Fifo
+{
+  public:
+    explicit Fifo(std::size_t capacity = 2) : capacity_(capacity)
+    {
+        SIOPMP_ASSERT(capacity >= 1, "fifo capacity must be >= 1");
+    }
+
+    /** True iff a producer may push this cycle. */
+    bool
+    canPush() const
+    {
+        return snapshot_ + staged_.size() < capacity_;
+    }
+
+    /** Enqueue an item; visible to the consumer after clock(). */
+    void
+    push(const T &item)
+    {
+        SIOPMP_ASSERT(canPush(), "push on full fifo");
+        staged_.push_back(item);
+    }
+
+    /** True iff the consumer can pop this cycle. */
+    bool empty() const { return ready_.empty(); }
+
+    /** Item at the head (consumer-visible). */
+    const T &
+    front() const
+    {
+        SIOPMP_ASSERT(!ready_.empty(), "front on empty fifo");
+        return ready_.front();
+    }
+
+    /** Remove the head item. */
+    void
+    pop()
+    {
+        SIOPMP_ASSERT(!ready_.empty(), "pop on empty fifo");
+        ready_.pop_front();
+    }
+
+    /** Advance the register stage; call once per cycle (by consumer). */
+    void
+    clock()
+    {
+        while (!staged_.empty()) {
+            ready_.push_back(staged_.front());
+            staged_.pop_front();
+        }
+        snapshot_ = ready_.size();
+    }
+
+    /** Total items in flight (ready + staged). */
+    std::size_t
+    occupancy() const
+    {
+        return ready_.size() + staged_.size();
+    }
+
+    std::size_t capacity() const { return capacity_; }
+
+    /** Drop everything (used on reset between experiments). */
+    void
+    reset()
+    {
+        ready_.clear();
+        staged_.clear();
+        snapshot_ = 0;
+    }
+
+  private:
+    std::size_t capacity_;
+    std::deque<T> ready_;
+    std::deque<T> staged_;
+    std::size_t snapshot_ = 0;
+};
+
+} // namespace bus
+} // namespace siopmp
+
+#endif // BUS_FIFO_HH

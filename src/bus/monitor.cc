@@ -1,0 +1,8 @@
+/**
+ * @file
+ * BusMonitor is header-only; this translation unit exists so the build
+ * system has a home for future out-of-line additions and to anchor the
+ * vtable-free class in the library.
+ */
+
+#include "bus/monitor.hh"

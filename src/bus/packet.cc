@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Beat constructors and debug formatting.
+ */
+
+#include "bus/packet.hh"
+
+#include <cstdio>
+
+namespace siopmp {
+namespace bus {
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Get: return "Get";
+      case Opcode::PutFullData: return "PutFullData";
+      case Opcode::PutPartialData: return "PutPartialData";
+      case Opcode::AccessAck: return "AccessAck";
+      case Opcode::AccessAckData: return "AccessAckData";
+    }
+    return "?";
+}
+
+std::string
+Beat::toString() const
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%s addr=%#llx dev=%llu txn=%llu beat=%u/%u%s%s%s",
+                  opcodeName(opcode),
+                  static_cast<unsigned long long>(addr),
+                  static_cast<unsigned long long>(device),
+                  static_cast<unsigned long long>(txn),
+                  beat_idx, num_beats,
+                  last ? " last" : "",
+                  denied ? " DENIED" : "",
+                  masked ? " MASKED" : "");
+    return buf;
+}
+
+Beat
+makeGet(Addr addr, unsigned beats, DeviceId device, std::uint64_t txn)
+{
+    Beat b;
+    b.opcode = Opcode::Get;
+    b.addr = addr;
+    b.device = device;
+    b.txn = txn;
+    b.beat_idx = 0;
+    b.num_beats = static_cast<std::uint8_t>(beats);
+    b.last = true; // Get is a single A beat
+    b.strobe = 0;
+    return b;
+}
+
+Beat
+makePut(Addr addr, unsigned idx, unsigned beats, std::uint64_t data,
+        DeviceId device, std::uint64_t txn, std::uint8_t strobe)
+{
+    Beat b;
+    b.opcode =
+        strobe == 0xff ? Opcode::PutFullData : Opcode::PutPartialData;
+    b.addr = addr + static_cast<Addr>(idx) * kBeatBytes;
+    b.device = device;
+    b.txn = txn;
+    b.beat_idx = static_cast<std::uint8_t>(idx);
+    b.num_beats = static_cast<std::uint8_t>(beats);
+    b.last = (idx + 1 == beats);
+    b.data = data;
+    b.strobe = strobe;
+    return b;
+}
+
+Beat
+makeAckData(const Beat &req, unsigned idx, std::uint64_t data)
+{
+    Beat b;
+    b.opcode = Opcode::AccessAckData;
+    b.addr = req.addr + static_cast<Addr>(idx) * kBeatBytes;
+    b.device = req.device;
+    b.txn = req.txn;
+    b.route = req.route;
+    b.beat_idx = static_cast<std::uint8_t>(idx);
+    b.num_beats = req.num_beats;
+    b.last = (idx + 1 == req.num_beats);
+    b.data = data;
+    return b;
+}
+
+Beat
+makeAck(const Beat &last_req)
+{
+    Beat b;
+    b.opcode = Opcode::AccessAck;
+    b.addr = last_req.addr;
+    b.device = last_req.device;
+    b.txn = last_req.txn;
+    b.route = last_req.route;
+    b.beat_idx = 0;
+    b.num_beats = 1;
+    b.last = true;
+    return b;
+}
+
+Beat
+makeDenied(const Beat &req)
+{
+    Beat b;
+    b.opcode = isWrite(req.opcode) ? Opcode::AccessAck
+                                   : Opcode::AccessAckData;
+    b.addr = req.addr;
+    b.device = req.device;
+    b.txn = req.txn;
+    b.route = req.route;
+    b.beat_idx = 0;
+    b.num_beats = 1;
+    b.last = true;
+    b.denied = true;
+    return b;
+}
+
+} // namespace bus
+} // namespace siopmp

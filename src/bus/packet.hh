@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Beat-level transaction model for the TileLink-like on-chip bus.
+ *
+ * A transaction is a burst of beats. Reads (Get) send one request beat
+ * on the A channel and receive num_beats data beats on the D channel.
+ * Writes (PutFullData / PutPartialData) stream num_beats data beats on
+ * the A channel and receive a single AccessAck on D. Each beat carries
+ * kBeatBytes of data plus a per-byte write strobe, which is how packet
+ * masking suppresses illegal writes.
+ */
+
+#ifndef BUS_PACKET_HH
+#define BUS_PACKET_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace siopmp {
+namespace bus {
+
+/** Bytes moved per beat (data bus width). */
+inline constexpr unsigned kBeatBytes = 8;
+
+/** Beats in a standard DMA burst (matches the paper's 8x8B bursts). */
+inline constexpr unsigned kBurstBeats = 8;
+
+/** Channel opcodes, a TileLink-UL/UH subset. */
+enum class Opcode : std::uint8_t {
+    Get,            //!< A: read request (single beat carries whole burst)
+    PutFullData,    //!< A: write data beat, full strobe
+    PutPartialData, //!< A: write data beat, partial strobe
+    AccessAck,      //!< D: write acknowledgement
+    AccessAckData,  //!< D: read data beat
+};
+
+/** True for A-channel (request) opcodes. */
+constexpr bool
+isRequest(Opcode op)
+{
+    return op == Opcode::Get || op == Opcode::PutFullData ||
+           op == Opcode::PutPartialData;
+}
+
+/** True for opcodes that carry write data. */
+constexpr bool
+isWrite(Opcode op)
+{
+    return op == Opcode::PutFullData || op == Opcode::PutPartialData;
+}
+
+/** Printable opcode name. */
+const char *opcodeName(Opcode op);
+
+/**
+ * One flit on the A or D channel.
+ */
+struct Beat {
+    Opcode opcode = Opcode::Get;
+    Addr addr = 0;            //!< target address of this beat
+    DeviceId device = 0;      //!< originating device identifier
+    std::uint64_t txn = 0;    //!< transaction id, unique per master
+    std::uint32_t route = 0;  //!< master port index, stamped by the xbar
+    std::uint8_t beat_idx = 0;
+    std::uint8_t num_beats = 1;
+    bool last = true;         //!< final beat of the burst on this channel
+    std::uint64_t data = 0;   //!< payload (little-endian bytes)
+    std::uint8_t strobe = 0xff; //!< per-byte write enable
+    bool denied = false;      //!< response carries a bus error
+    bool masked = false;      //!< data was cleared/strobed by the checker
+
+    /** Permission this beat requires from the IOPMP. */
+    Perm
+    requiredPerm() const
+    {
+        return isWrite(opcode) ? Perm::Write : Perm::Read;
+    }
+
+    /** Debug string. */
+    std::string toString() const;
+};
+
+/**
+ * Construct the single A beat of a read burst covering
+ * [addr, addr + beats * kBeatBytes).
+ */
+Beat makeGet(Addr addr, unsigned beats, DeviceId device, std::uint64_t txn);
+
+/** Construct A beat @p idx of a write burst. */
+Beat makePut(Addr addr, unsigned idx, unsigned beats, std::uint64_t data,
+             DeviceId device, std::uint64_t txn,
+             std::uint8_t strobe = 0xff);
+
+/** Construct D data beat @p idx answering @p req (a Get). */
+Beat makeAckData(const Beat &req, unsigned idx, std::uint64_t data);
+
+/** Construct the D ack answering a completed write burst. */
+Beat makeAck(const Beat &last_req);
+
+/** Construct an error (denied) response terminating @p req's burst. */
+Beat makeDenied(const Beat &req);
+
+} // namespace bus
+} // namespace siopmp
+
+#endif // BUS_PACKET_HH

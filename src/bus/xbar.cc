@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Crossbar implementation.
+ */
+
+#include "bus/xbar.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace siopmp {
+namespace bus {
+
+Xbar::Xbar(std::string name, std::vector<Link *> uplinks, Link *downlink)
+    : Tickable(std::move(name)),
+      up_(std::move(uplinks)),
+      down_(downlink),
+      stats_(this->name())
+{
+    SIOPMP_ASSERT(!up_.empty() && down_ != nullptr, "xbar needs ports");
+}
+
+void
+Xbar::forwardRequest()
+{
+    if (!down_->a.canPush())
+        return;
+
+    if (burst_locked_) {
+        // Continue the granted burst; do not interleave other masters.
+        Link *link = up_[grant_];
+        if (link->a.empty())
+            return;
+        Beat beat = link->a.front();
+        link->a.pop();
+        beat.route = static_cast<std::uint32_t>(grant_);
+        down_->a.push(beat);
+        ++stats_.scalar("a_beats");
+        if (beat.last)
+            burst_locked_ = false;
+        return;
+    }
+
+    // Round-robin starting after the last granted port.
+    for (std::size_t i = 0; i < up_.size(); ++i) {
+        std::size_t port = (grant_ + 1 + i) % up_.size();
+        Link *link = up_[port];
+        if (link->a.empty())
+            continue;
+        Beat beat = link->a.front();
+        link->a.pop();
+        beat.route = static_cast<std::uint32_t>(port);
+        down_->a.push(beat);
+        ++stats_.scalar("a_beats");
+        grant_ = port;
+        burst_locked_ = !beat.last;
+        return;
+    }
+}
+
+void
+Xbar::forwardResponse()
+{
+    if (down_->d.empty())
+        return;
+    const Beat &beat = down_->d.front();
+    SIOPMP_ASSERT(beat.route < up_.size(), "bad response route tag");
+    Link *link = up_[beat.route];
+    if (!link->d.canPush())
+        return;
+    link->d.push(beat);
+    ++stats_.scalar("d_beats");
+    down_->d.pop();
+}
+
+void
+Xbar::evaluate(Cycle)
+{
+    forwardRequest();
+    forwardResponse();
+}
+
+void
+Xbar::advance(Cycle)
+{
+    // Consumer-clocks convention: the xbar consumes every uplink's A
+    // channel and the downlink's D channel.
+    for (auto *link : up_)
+        link->a.clock();
+    down_->d.clock();
+}
+
+} // namespace bus
+} // namespace siopmp

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * CapSpace implementation.
+ */
+
+#include "fw/cap_space.hh"
+
+#include "sim/logging.hh"
+
+namespace siopmp {
+namespace fw {
+
+CapId
+CapSpace::insert(Capability cap)
+{
+    cap.id = next_id_++;
+    const CapId id = cap.id;
+    if (cap.parent != kNoCap)
+        children_[cap.parent].push_back(id);
+    caps_.emplace(id, std::move(cap));
+    return id;
+}
+
+CapId
+CapSpace::mintMemory(mem::Range range, CapRights rights)
+{
+    Capability cap;
+    cap.kind = CapKind::Memory;
+    cap.rights = rights;
+    cap.range = range;
+    return insert(cap);
+}
+
+CapId
+CapSpace::mintDevice(DeviceId device, CapRights rights)
+{
+    Capability cap;
+    cap.kind = CapKind::Device;
+    cap.rights = rights;
+    cap.device = device;
+    return insert(cap);
+}
+
+CapId
+CapSpace::mintInterrupt(unsigned irq_line, CapRights rights)
+{
+    Capability cap;
+    cap.kind = CapKind::Interrupt;
+    cap.rights = rights;
+    cap.irq_line = irq_line;
+    return insert(cap);
+}
+
+CapId
+CapSpace::deriveMemory(CapId parent, mem::Range range, CapRights rights)
+{
+    auto it = caps_.find(parent);
+    if (it == caps_.end() || it->second.revoked)
+        return kNoCap;
+    const Capability &p = it->second;
+    if (p.kind != CapKind::Memory ||
+        !hasRights(p.rights, CapRights::Grant))
+        return kNoCap;
+    // The child may only narrow: range inside parent, rights subset.
+    if (!p.range.containsBlock(range.base, range.size))
+        return kNoCap;
+    if ((rights | p.rights) != p.rights)
+        return kNoCap;
+
+    Capability child;
+    child.parent = parent;
+    child.kind = CapKind::Memory;
+    child.rights = rights;
+    child.owner = p.owner;
+    child.range = range;
+    return insert(child);
+}
+
+CapId
+CapSpace::deriveDevice(CapId parent, CapRights rights)
+{
+    auto it = caps_.find(parent);
+    if (it == caps_.end() || it->second.revoked)
+        return kNoCap;
+    const Capability &p = it->second;
+    if (p.kind != CapKind::Device ||
+        !hasRights(p.rights, CapRights::Grant))
+        return kNoCap;
+    if ((rights | p.rights) != p.rights)
+        return kNoCap;
+
+    Capability child;
+    child.parent = parent;
+    child.kind = CapKind::Device;
+    child.rights = rights;
+    child.owner = p.owner;
+    child.device = p.device;
+    return insert(child);
+}
+
+bool
+CapSpace::transfer(CapId cap, OwnerId current_owner, OwnerId new_owner)
+{
+    auto it = caps_.find(cap);
+    if (it == caps_.end() || it->second.revoked)
+        return false;
+    Capability &c = it->second;
+    if (c.owner != current_owner)
+        return false;
+    if (!hasRights(c.rights, CapRights::Grant))
+        return false;
+    c.owner = new_owner;
+    return true;
+}
+
+CapId
+CapSpace::shareReadOnly(CapId cap, OwnerId current_owner,
+                        OwnerId new_owner)
+{
+    auto it = caps_.find(cap);
+    if (it == caps_.end() || it->second.revoked)
+        return kNoCap;
+    const Capability &original = it->second;
+    if (original.owner != current_owner)
+        return kNoCap;
+    if (!hasRights(original.rights, CapRights::Grant) ||
+        !hasRights(original.rights, CapRights::Read)) {
+        return kNoCap;
+    }
+
+    Capability copy;
+    copy.parent = cap;
+    copy.kind = original.kind;
+    copy.rights = CapRights::Read;
+    copy.owner = new_owner;
+    copy.range = original.range;
+    copy.device = original.device;
+    copy.irq_line = original.irq_line;
+    return insert(copy);
+}
+
+bool
+CapSpace::revoke(CapId cap)
+{
+    auto it = caps_.find(cap);
+    if (it == caps_.end() || it->second.revoked)
+        return false;
+    it->second.revoked = true;
+    auto kids = children_.find(cap);
+    if (kids != children_.end()) {
+        for (CapId child : kids->second)
+            revoke(child);
+    }
+    return true;
+}
+
+std::optional<Capability>
+CapSpace::get(CapId cap) const
+{
+    auto it = caps_.find(cap);
+    if (it == caps_.end() || it->second.revoked)
+        return std::nullopt;
+    return it->second;
+}
+
+bool
+CapSpace::owns(CapId cap, OwnerId owner, CapRights rights) const
+{
+    auto c = get(cap);
+    return c && c->owner == owner && hasRights(c->rights, rights);
+}
+
+std::optional<CapId>
+CapSpace::findMemoryCap(OwnerId owner, Addr addr, Addr len,
+                        CapRights rights) const
+{
+    for (const auto &[id, cap] : caps_) {
+        if (cap.revoked || cap.kind != CapKind::Memory)
+            continue;
+        if (cap.owner != owner || !hasRights(cap.rights, rights))
+            continue;
+        if (cap.range.containsBlock(addr, len))
+            return id;
+    }
+    return std::nullopt;
+}
+
+std::optional<CapId>
+CapSpace::findDeviceCap(OwnerId owner, DeviceId device) const
+{
+    for (const auto &[id, cap] : caps_) {
+        if (cap.revoked || cap.kind != CapKind::Device)
+            continue;
+        if (cap.owner == owner && cap.device == device)
+            return id;
+    }
+    return std::nullopt;
+}
+
+std::size_t
+CapSpace::liveCount() const
+{
+    std::size_t n = 0;
+    for (const auto &[id, cap] : caps_)
+        n += !cap.revoked;
+    return n;
+}
+
+} // namespace fw
+} // namespace siopmp

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Capability space: allocation, derivation, transfer and revocation of
+ * capabilities, with ownership-chain validation.
+ */
+
+#ifndef FW_CAP_SPACE_HH
+#define FW_CAP_SPACE_HH
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "fw/capability.hh"
+
+namespace siopmp {
+namespace fw {
+
+class CapSpace
+{
+  public:
+    CapSpace() = default;
+
+    /** Mint a root capability (boot time; monitor-owned). */
+    CapId mintMemory(mem::Range range, CapRights rights = CapRights::Full);
+    CapId mintDevice(DeviceId device, CapRights rights = CapRights::Full);
+    CapId mintInterrupt(unsigned irq_line,
+                        CapRights rights = CapRights::Full);
+
+    /**
+     * Derive a child memory capability with a narrower range and/or
+     * reduced rights. Requires Grant on the parent and the child range
+     * fully inside the parent's. Child is owned by the parent's owner.
+     */
+    CapId deriveMemory(CapId parent, mem::Range range, CapRights rights);
+
+    /** Derive a device capability with reduced rights. */
+    CapId deriveDevice(CapId parent, CapRights rights);
+
+    /**
+     * Transfer ownership to @p new_owner. Requires Grant. Returns
+     * false if the capability is revoked or lacks Grant.
+     */
+    bool transfer(CapId cap, OwnerId current_owner, OwnerId new_owner);
+
+    /**
+     * Fig 9's other transfer flavour: give @p new_owner a read-only
+     * COPY while the giver keeps ownership. The copy is a child in the
+     * ownership chain (revoking the original revokes every copy) with
+     * Read rights only — no Map, no Grant, so it can neither be bound
+     * to a device nor passed on.
+     */
+    CapId shareReadOnly(CapId cap, OwnerId current_owner,
+                        OwnerId new_owner);
+
+    /**
+     * Revoke @p cap and every capability derived from it (the whole
+     * subtree of the ownership chain).
+     */
+    bool revoke(CapId cap);
+
+    /** Lookup (nullopt if unknown or revoked). */
+    std::optional<Capability> get(CapId cap) const;
+
+    /** Does @p owner hold a live capability @p cap with @p rights? */
+    bool owns(CapId cap, OwnerId owner, CapRights rights) const;
+
+    /** Live memory capability covering [addr, addr+len) owned by
+     * @p owner with @p rights, if any. */
+    std::optional<CapId> findMemoryCap(OwnerId owner, Addr addr, Addr len,
+                                       CapRights rights) const;
+
+    /** Live device capability for @p device owned by @p owner. */
+    std::optional<CapId> findDeviceCap(OwnerId owner,
+                                       DeviceId device) const;
+
+    std::size_t liveCount() const;
+
+  private:
+    CapId insert(Capability cap);
+
+    std::unordered_map<CapId, Capability> caps_;
+    std::unordered_map<CapId, std::vector<CapId>> children_;
+    CapId next_id_ = 1;
+};
+
+} // namespace fw
+} // namespace siopmp
+
+#endif // FW_CAP_SPACE_HH

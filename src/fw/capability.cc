@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Capability formatting.
+ */
+
+#include "fw/capability.hh"
+
+#include <cstdio>
+
+namespace siopmp {
+namespace fw {
+
+std::string
+Capability::toString() const
+{
+    char buf[160];
+    const char *kind_name = kind == CapKind::Memory   ? "mem"
+                            : kind == CapKind::Device ? "dev"
+                                                      : "irq";
+    std::snprintf(buf, sizeof(buf),
+                  "cap#%llu %s owner=%u rights=%#x parent=%llu%s",
+                  static_cast<unsigned long long>(id), kind_name, owner,
+                  static_cast<unsigned>(rights),
+                  static_cast<unsigned long long>(parent),
+                  revoked ? " REVOKED" : "");
+    return buf;
+}
+
+} // namespace fw
+} // namespace siopmp

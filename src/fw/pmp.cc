@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Pmp implementation.
+ */
+
+#include "fw/pmp.hh"
+
+#include "sim/logging.hh"
+
+namespace siopmp {
+namespace fw {
+
+bool
+Pmp::set(unsigned idx, Addr base, Addr size, bool r, bool w, bool x,
+         bool lock)
+{
+    SIOPMP_ASSERT(idx < kEntries, "PMP index out of range");
+    if (entries_[idx].valid && entries_[idx].locked)
+        return false;
+    entries_[idx] = PmpEntry{true, base, size, r, w, x, lock};
+    return true;
+}
+
+bool
+Pmp::clear(unsigned idx)
+{
+    SIOPMP_ASSERT(idx < kEntries, "PMP index out of range");
+    if (entries_[idx].valid && entries_[idx].locked)
+        return false;
+    entries_[idx] = PmpEntry{};
+    return true;
+}
+
+const Pmp::PmpEntry &
+Pmp::entry(unsigned idx) const
+{
+    SIOPMP_ASSERT(idx < kEntries, "PMP index out of range");
+    return entries_[idx];
+}
+
+bool
+Pmp::check(Addr addr, Addr len, Perm perm, PrivMode mode) const
+{
+    for (const auto &e : entries_) {
+        if (!e.valid || len == 0)
+            continue;
+        const bool overlap = addr < e.base + e.size && e.base < addr + len;
+        if (!overlap)
+            continue;
+        // Deciding entry found (priority order).
+        if (mode == PrivMode::M && !e.locked)
+            return true; // unlocked entries do not bind M-mode
+        const bool contained =
+            addr >= e.base && len <= e.size && addr - e.base <= e.size - len;
+        if (!contained)
+            return false;
+        if (permits(perm, Perm::Read) && !e.r)
+            return false;
+        if (permits(perm, Perm::Write) && !e.w)
+            return false;
+        return true;
+    }
+    return mode == PrivMode::M;
+}
+
+} // namespace fw
+} // namespace siopmp

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * CPU-side PMP (Physical Memory Protection) model. In the paper's
+ * system the extended IOPMP table lives in ordinary memory protected
+ * by PMP entries only M-mode can reconfigure; here the PMP guards
+ * firmware-only regions against S/U-mode CPU accesses. Semantics
+ * follow the RISC-V priv spec subset the monitor needs: priority
+ * entries with R/W/X permissions and a lock bit that binds M-mode too.
+ */
+
+#ifndef FW_PMP_HH
+#define FW_PMP_HH
+
+#include <array>
+#include <optional>
+
+#include "sim/types.hh"
+
+namespace siopmp {
+namespace fw {
+
+/** CPU privilege modes relevant to PMP checks. */
+enum class PrivMode { U, S, M };
+
+class Pmp
+{
+  public:
+    static constexpr unsigned kEntries = 16;
+
+    struct PmpEntry {
+        bool valid = false;
+        Addr base = 0;
+        Addr size = 0;
+        bool r = false, w = false, x = false;
+        bool locked = false;
+    };
+
+    /**
+     * Program entry @p idx. Fails if the existing entry is locked.
+     */
+    bool set(unsigned idx, Addr base, Addr size, bool r, bool w, bool x,
+             bool lock = false);
+
+    /** Clear entry @p idx (fails if locked). */
+    bool clear(unsigned idx);
+
+    const PmpEntry &entry(unsigned idx) const;
+
+    /**
+     * Check an access of @p len bytes at @p addr. Priority first-match
+     * like the IOPMP: the lowest-index entry overlapping the access
+     * decides. M-mode accesses are implicitly allowed unless the
+     * deciding entry is locked. No match: M allowed, S/U denied
+     * (monitor runs with default-deny for lower privileges).
+     */
+    bool check(Addr addr, Addr len, Perm perm, PrivMode mode) const;
+
+  private:
+    std::array<PmpEntry, kEntries> entries_{};
+};
+
+} // namespace fw
+} // namespace siopmp
+
+#endif // FW_PMP_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * SmodeDmaDriver implementation.
+ */
+
+#include "fw/smode_driver.hh"
+
+#include "sim/logging.hh"
+
+namespace siopmp {
+namespace fw {
+
+SmodeDmaDriver::SmodeDmaDriver(SecureMonitor *monitor, unsigned lo,
+                               unsigned hi)
+    : monitor_(monitor), lo_(lo), used_(hi > lo ? hi - lo : 0, false)
+{
+    SIOPMP_ASSERT(monitor_ && hi > lo, "bad delegation window");
+    monitor_->delegateToSmode(lo, hi);
+}
+
+SmodeMapping
+SmodeDmaDriver::dmaMap(Addr base, Addr size, Perm perm, Cycle now)
+{
+    SmodeMapping mapping;
+    for (unsigned i = 0; i < used_.size(); ++i) {
+        const unsigned idx = (hand_ + i) % used_.size();
+        if (used_[idx])
+            continue;
+        auto result = monitor_->smodeSetEntry(
+            lo_ + idx, iopmp::Entry::range(base, size, perm), now);
+        if (!result.ok) {
+            ++map_failures_;
+            return mapping;
+        }
+        used_[idx] = true;
+        hand_ = (idx + 1) % static_cast<unsigned>(used_.size());
+        mapping.ok = true;
+        mapping.slot = lo_ + idx;
+        mapping.cost = result.cost;
+        ++maps_;
+        return mapping;
+    }
+    ++map_failures_; // window exhausted
+    return mapping;
+}
+
+Cycle
+SmodeDmaDriver::dmaUnmap(const SmodeMapping &mapping, Cycle now)
+{
+    if (!mapping.ok || mapping.slot < lo_ ||
+        mapping.slot >= lo_ + used_.size()) {
+        return 0;
+    }
+    const unsigned idx = mapping.slot - lo_;
+    if (!used_[idx])
+        return 0;
+    auto result =
+        monitor_->smodeSetEntry(mapping.slot, iopmp::Entry::off(), now);
+    SIOPMP_ASSERT(result.ok, "delegated entry reset failed");
+    used_[idx] = false;
+    ++unmaps_;
+    return result.cost;
+}
+
+unsigned
+SmodeDmaDriver::freeSlots() const
+{
+    unsigned free_count = 0;
+    for (bool used : used_)
+        free_count += !used;
+    return free_count;
+}
+
+} // namespace fw
+} // namespace siopmp

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * S-mode DMA driver: the kernel-side counterpart of the monitor's
+ * entry delegation (§6.3). The monitor hands the untrusted kernel a
+ * window of low-priority IOPMP entries; this driver implements the
+ * Linux-style dma_map/dma_unmap API on top of it:
+ *
+ *  - dmaMap(): claim a free delegated slot and program a byte-granular
+ *    rule for the buffer (synchronous, ~14 cycles);
+ *  - dmaUnmap(): reset the slot immediately — no asynchronous
+ *    invalidation, no attack window;
+ *
+ * all while the monitor's high-priority entries keep dominating, so a
+ * buggy or malicious kernel can grant at most what the monitor's rules
+ * leave reachable.
+ */
+
+#ifndef FW_SMODE_DRIVER_HH
+#define FW_SMODE_DRIVER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "fw/monitor.hh"
+
+namespace siopmp {
+namespace fw {
+
+/** Opaque mapping handle returned by dmaMap(). */
+struct SmodeMapping {
+    bool ok = false;
+    unsigned slot = 0; //!< delegated entry index
+    Cycle cost = 0;
+};
+
+class SmodeDmaDriver
+{
+  public:
+    /**
+     * @param monitor the secure monitor (owns the delegation)
+     * @param lo,hi   the delegated entry window [lo, hi)
+     */
+    SmodeDmaDriver(SecureMonitor *monitor, unsigned lo, unsigned hi);
+
+    /** Map [base, base+size) for DMA with @p perm. */
+    SmodeMapping dmaMap(Addr base, Addr size, Perm perm, Cycle now = 0);
+
+    /** Unmap a previous mapping (synchronous entry reset). */
+    Cycle dmaUnmap(const SmodeMapping &mapping, Cycle now = 0);
+
+    unsigned freeSlots() const;
+    std::uint64_t maps() const { return maps_; }
+    std::uint64_t unmaps() const { return unmaps_; }
+    std::uint64_t mapFailures() const { return map_failures_; }
+
+  private:
+    SecureMonitor *monitor_;
+    unsigned lo_;
+    std::vector<bool> used_;
+    unsigned hand_ = 0; //!< rotating scan start (spreads slot reuse)
+    std::uint64_t maps_ = 0;
+    std::uint64_t unmaps_ = 0;
+    std::uint64_t map_failures_ = 0;
+};
+
+} // namespace fw
+} // namespace siopmp
+
+#endif // FW_SMODE_DRIVER_HH

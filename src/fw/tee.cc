@@ -1,0 +1,6 @@
+/**
+ * @file
+ * Tee is header-only; this file anchors it in the library.
+ */
+
+#include "fw/tee.hh"

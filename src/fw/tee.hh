@@ -1,0 +1,59 @@
+/**
+ * @file
+ * TEE domain record kept by the secure monitor's TEE manager: the
+ * owner id used in the capability space plus bookkeeping of the
+ * resources (memory ranges, devices) currently bound to the domain.
+ */
+
+#ifndef FW_TEE_HH
+#define FW_TEE_HH
+
+#include <string>
+#include <vector>
+
+#include "fw/capability.hh"
+
+namespace siopmp {
+namespace fw {
+
+/** One mapped device window inside a TEE. */
+struct DeviceMapping {
+    DeviceId device = 0;
+    Sid sid = kNoSid;
+    unsigned entry_index = 0; //!< hardware IOPMP entry holding the rule
+    mem::Range range;
+    Perm perm = Perm::None;
+};
+
+class Tee
+{
+  public:
+    Tee(OwnerId owner, std::string name)
+        : owner_(owner), name_(std::move(name))
+    {
+    }
+
+    OwnerId owner() const { return owner_; }
+    const std::string &name() const { return name_; }
+
+    void addMemoryCap(CapId cap) { memory_caps_.push_back(cap); }
+    void addDeviceCap(CapId cap) { device_caps_.push_back(cap); }
+
+    const std::vector<CapId> &memoryCaps() const { return memory_caps_; }
+    const std::vector<CapId> &deviceCaps() const { return device_caps_; }
+
+    std::vector<DeviceMapping> &mappings() { return mappings_; }
+    const std::vector<DeviceMapping> &mappings() const { return mappings_; }
+
+  private:
+    OwnerId owner_;
+    std::string name_;
+    std::vector<CapId> memory_caps_;
+    std::vector<CapId> device_caps_;
+    std::vector<DeviceMapping> mappings_;
+};
+
+} // namespace fw
+} // namespace siopmp
+
+#endif // FW_TEE_HH

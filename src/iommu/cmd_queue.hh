@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Asynchronous invalidation command queue. Real IOMMUs invalidate the
+ * IOTLB by posting commands (invalidate page / invalidate all / sync)
+ * to a ring and waiting for a completion wait-descriptor. The wait is
+ * what makes strict unmapping so expensive: the driver cannot reuse
+ * the IOVA until the sync retires, and retirement latency is hundreds
+ * of cycles and grows under load. sIOPMP's contrast (§6.2) is its
+ * synchronous, deterministic MMIO entry rewrite.
+ */
+
+#ifndef IOMMU_CMD_QUEUE_HH
+#define IOMMU_CMD_QUEUE_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "sim/types.hh"
+
+namespace siopmp {
+namespace iommu {
+
+struct CmdQueueCosts {
+    Cycle post = 40;           //!< write command descriptor + doorbell
+    Cycle service_latency = 450; //!< hardware dequeue-to-retire latency
+    Cycle service_interval = 120; //!< min gap between retirements
+    Cycle sync_poll = 60;      //!< one poll of the wait descriptor
+};
+
+/** Command kinds (subset sufficient for the model). */
+enum class InvCommand { Page, All, Sync };
+
+class CommandQueue
+{
+  public:
+    explicit CommandQueue(CmdQueueCosts costs = {}) : costs_(costs) {}
+
+    /**
+     * Post an invalidation command at time @p now.
+     * @return the cycle cost of posting (CPU side).
+     */
+    Cycle post(InvCommand kind, Addr iova, Cycle now);
+
+    /**
+     * Block until every previously posted command has retired
+     * (a sync/wait descriptor). @return CPU cycles spent waiting.
+     */
+    Cycle sync(Cycle now);
+
+    /** Retire commands whose service time has passed. */
+    void drain(Cycle now);
+
+    std::size_t pending() const { return pending_.size(); }
+    std::uint64_t posted() const { return posted_; }
+    std::uint64_t retired() const { return retired_; }
+
+    /** Cycle at which the most recently posted command retires. */
+    Cycle lastRetireAt() const { return last_retire_at_; }
+
+  private:
+    struct Pending {
+        InvCommand kind;
+        Addr iova;
+        Cycle retire_at;
+    };
+
+    CmdQueueCosts costs_;
+    std::deque<Pending> pending_;
+    Cycle last_retire_at_ = 0;
+    std::uint64_t posted_ = 0;
+    std::uint64_t retired_ = 0;
+};
+
+} // namespace iommu
+} // namespace siopmp
+
+#endif // IOMMU_CMD_QUEUE_HH

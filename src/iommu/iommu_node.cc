@@ -1,0 +1,113 @@
+/**
+ * @file
+ * IommuNode implementation.
+ */
+
+#include "iommu/iommu_node.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace siopmp {
+namespace iommu {
+
+IommuNode::IommuNode(std::string name, bus::Link *up, bus::Link *down,
+                     Iommu *mmu)
+    : Tickable(std::move(name)), up_(up), down_(down), mmu_(mmu),
+      stats_(this->name())
+{
+    SIOPMP_ASSERT(up_ && down_ && mmu_, "iommu node wiring incomplete");
+}
+
+void
+IommuNode::acceptRequests(Cycle now)
+{
+    if (up_->a.empty() || pipe_.size() >= 4)
+        return;
+    bus::Beat beat = up_->a.front();
+    up_->a.pop();
+
+    // Burst-wide fault propagation for writes.
+    if (faulting_txn_ && *faulting_txn_ == beat.txn &&
+        bus::isWrite(beat.opcode)) {
+        pipe_.push_back(Pending{beat, now, /*fault=*/true});
+        if (beat.last)
+            faulting_txn_.reset();
+        return;
+    }
+
+    Cycle walk_cost = 0;
+    auto translation =
+        mmu_->translate(beat.addr, beat.requiredPerm(), now, &walk_cost);
+    if (walk_cost == 0)
+        ++stats_.scalar("iotlb_hits");
+    else
+        ++stats_.scalar("table_walks");
+
+    Pending pending;
+    pending.ready_at = now + walk_cost;
+    pending.fault = !translation.has_value();
+    if (translation) {
+        beat.addr = translation->paddr | (beat.addr & (kPageSize - 1));
+    } else {
+        ++stats_.scalar("faults");
+        if (bus::isWrite(beat.opcode) && !beat.last)
+            faulting_txn_ = beat.txn;
+    }
+    pending.beat = beat;
+    pipe_.push_back(pending);
+}
+
+void
+IommuNode::dispatch(Cycle now)
+{
+    if (pipe_.empty() || pipe_.front().ready_at > now)
+        return;
+    const Pending &pending = pipe_.front();
+
+    if (pending.fault) {
+        // Respond with a bus error once per burst (on the last beat of
+        // writes, immediately for reads).
+        if (pending.beat.last) {
+            if (!up_->d.canPush())
+                return;
+            up_->d.push(bus::makeDenied(pending.beat));
+        }
+        pipe_.pop_front();
+        return;
+    }
+
+    if (!down_->a.canPush())
+        return;
+    down_->a.push(pending.beat);
+    ++stats_.scalar("beats_translated");
+    pipe_.pop_front();
+}
+
+void
+IommuNode::forwardResponses()
+{
+    if (down_->d.empty() || !up_->d.canPush())
+        return;
+    up_->d.push(down_->d.front());
+    down_->d.pop();
+}
+
+void
+IommuNode::evaluate(Cycle now)
+{
+    acceptRequests(now);
+    dispatch(now);
+    forwardResponses();
+}
+
+void
+IommuNode::advance(Cycle)
+{
+    up_->a.clock();
+    down_->d.clock();
+}
+
+} // namespace iommu
+} // namespace siopmp

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Iotlb implementation.
+ */
+
+#include "iommu/iotlb.hh"
+
+#include "sim/logging.hh"
+
+namespace siopmp {
+namespace iommu {
+
+Iotlb::Iotlb(unsigned sets, unsigned ways) : sets_(sets), ways_(ways)
+{
+    SIOPMP_ASSERT(isPow2(sets) && ways >= 1, "bad IOTLB shape");
+    ways_storage_.resize(static_cast<std::size_t>(sets) * ways);
+}
+
+std::optional<Translation>
+Iotlb::lookup(Addr iova)
+{
+    const Addr vpn = iova >> kPageShift;
+    const unsigned set = setIndex(iova);
+    for (unsigned w = 0; w < ways_; ++w) {
+        Way &way = ways_storage_[static_cast<std::size_t>(set) * ways_ + w];
+        if (way.valid && way.vpn == vpn) {
+            way.lru = ++stamp_;
+            ++hits_;
+            return way.translation;
+        }
+    }
+    ++misses_;
+    return std::nullopt;
+}
+
+void
+Iotlb::insert(Addr iova, const Translation &translation)
+{
+    const Addr vpn = iova >> kPageShift;
+    const unsigned set = setIndex(iova);
+    Way *victim = nullptr;
+    for (unsigned w = 0; w < ways_; ++w) {
+        Way &way = ways_storage_[static_cast<std::size_t>(set) * ways_ + w];
+        if (way.valid && way.vpn == vpn) {
+            victim = &way; // refresh existing entry
+            break;
+        }
+        if (!way.valid) {
+            if (!victim || victim->valid)
+                victim = &way;
+        } else if (!victim || (victim->valid && way.lru < victim->lru)) {
+            victim = &way;
+        }
+    }
+    victim->valid = true;
+    victim->vpn = vpn;
+    victim->translation = translation;
+    victim->lru = ++stamp_;
+}
+
+bool
+Iotlb::invalidatePage(Addr iova)
+{
+    const Addr vpn = iova >> kPageShift;
+    const unsigned set = setIndex(iova);
+    for (unsigned w = 0; w < ways_; ++w) {
+        Way &way = ways_storage_[static_cast<std::size_t>(set) * ways_ + w];
+        if (way.valid && way.vpn == vpn) {
+            way.valid = false;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Iotlb::invalidateAll()
+{
+    for (auto &way : ways_storage_)
+        way.valid = false;
+}
+
+unsigned
+Iotlb::population() const
+{
+    unsigned n = 0;
+    for (const auto &way : ways_storage_)
+        n += way.valid;
+    return n;
+}
+
+} // namespace iommu
+} // namespace siopmp

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * IoPageTable implementation.
+ */
+
+#include "iommu/page_table.hh"
+
+namespace siopmp {
+namespace iommu {
+
+bool
+IoPageTable::map(Addr iova, Addr paddr, Perm perm)
+{
+    if ((iova | paddr) & (kPageSize - 1))
+        return false;
+    auto &leaf = l1_[l1Index(iova)];
+    if (!leaf)
+        leaf = std::make_unique<Leaf>();
+    auto [it, inserted] =
+        leaf->entries.insert_or_assign(l2Index(iova),
+                                       Translation{paddr, perm});
+    if (inserted)
+        ++count_;
+    return true;
+}
+
+bool
+IoPageTable::unmap(Addr iova)
+{
+    auto it = l1_.find(l1Index(iova));
+    if (it == l1_.end())
+        return false;
+    if (it->second->entries.erase(l2Index(iova)) == 0)
+        return false;
+    --count_;
+    if (it->second->entries.empty())
+        l1_.erase(it);
+    return true;
+}
+
+std::optional<Translation>
+IoPageTable::walk(Addr iova, unsigned *walk_levels) const
+{
+    auto it = l1_.find(l1Index(iova));
+    if (it == l1_.end()) {
+        if (walk_levels)
+            *walk_levels = 1;
+        return std::nullopt;
+    }
+    if (walk_levels)
+        *walk_levels = 2;
+    auto leaf_it = it->second->entries.find(l2Index(iova));
+    if (leaf_it == it->second->entries.end())
+        return std::nullopt;
+    return leaf_it->second;
+}
+
+} // namespace iommu
+} // namespace siopmp

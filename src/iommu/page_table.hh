@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Two-level I/O page table used by the baseline IOMMU model. Maps
+ * 4 KiB I/O virtual pages (IOVA space) to physical pages with R/W
+ * permissions. A table walk touches one entry per level; the walk cost
+ * in cycles is reported to the IOMMU's timing model.
+ */
+
+#ifndef IOMMU_PAGE_TABLE_HH
+#define IOMMU_PAGE_TABLE_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "sim/types.hh"
+
+namespace siopmp {
+namespace iommu {
+
+inline constexpr Addr kPageShift = 12;
+inline constexpr Addr kPageSize = Addr{1} << kPageShift;
+//! Bits of IOVA covered by one leaf table (second level).
+inline constexpr Addr kLevelBits = 9;
+
+/** One translation. */
+struct Translation {
+    Addr paddr = 0;  //!< physical page base
+    Perm perm = Perm::None;
+};
+
+class IoPageTable
+{
+  public:
+    /**
+     * Install a mapping iova -> paddr (both page-aligned) with the
+     * given permission. Returns false if either address is unaligned.
+     */
+    bool map(Addr iova, Addr paddr, Perm perm);
+
+    /** Remove the mapping for @p iova. Returns false if absent. */
+    bool unmap(Addr iova);
+
+    /**
+     * Walk the table. @p walk_levels, when non-null, receives the
+     * number of table levels touched (2 on a hit or leaf-level miss,
+     * 1 when the first level already misses).
+     */
+    std::optional<Translation> walk(Addr iova,
+                                    unsigned *walk_levels = nullptr) const;
+
+    std::size_t numMappings() const { return count_; }
+
+  private:
+    struct Leaf {
+        std::unordered_map<Addr, Translation> entries; //!< by L2 index
+    };
+
+    static Addr l1Index(Addr iova) { return iova >> (kPageShift + kLevelBits); }
+    static Addr
+    l2Index(Addr iova)
+    {
+        return (iova >> kPageShift) & ((Addr{1} << kLevelBits) - 1);
+    }
+
+    std::unordered_map<Addr, std::unique_ptr<Leaf>> l1_;
+    std::size_t count_ = 0;
+};
+
+} // namespace iommu
+} // namespace siopmp
+
+#endif // IOMMU_PAGE_TABLE_HH

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Rmp implementation.
+ */
+
+#include "iommu/rmp.hh"
+
+namespace siopmp {
+namespace iommu {
+
+void
+Rmp::assign(Addr paddr, OwnerTag owner)
+{
+    owners_[pageOf(paddr)] = owner;
+}
+
+Cycle
+Rmp::revoke(Addr paddr, Cycle now)
+{
+    owners_.erase(pageOf(paddr));
+    Cycle cost = cmdq_.post(InvCommand::Page, paddr, now);
+    cost += cmdq_.sync(now + cost);
+    return cost;
+}
+
+bool
+Rmp::check(Addr paddr, OwnerTag domain) const
+{
+    ++checks_;
+    return ownerOf(paddr) == domain;
+}
+
+OwnerTag
+Rmp::ownerOf(Addr paddr) const
+{
+    auto it = owners_.find(pageOf(paddr));
+    return it == owners_.end() ? kHypervisorOwner : it->second;
+}
+
+} // namespace iommu
+} // namespace siopmp

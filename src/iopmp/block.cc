@@ -1,0 +1,49 @@
+/**
+ * @file
+ * SidBlockBitmap implementation.
+ */
+
+#include "iopmp/block.hh"
+
+#include "sim/logging.hh"
+
+namespace siopmp {
+namespace iopmp {
+
+void
+SidBlockBitmap::block(Sid sid)
+{
+    SIOPMP_ASSERT(valid(sid), "block: SID out of range");
+    bits_ |= std::uint64_t{1} << sid;
+}
+
+void
+SidBlockBitmap::unblock(Sid sid)
+{
+    SIOPMP_ASSERT(valid(sid), "unblock: SID out of range");
+    bits_ &= ~(std::uint64_t{1} << sid);
+}
+
+bool
+SidBlockBitmap::blocked(Sid sid) const
+{
+    if (!valid(sid))
+        return false;
+    return (bits_ >> sid) & 1;
+}
+
+void
+SidBlockBitmap::blockAll()
+{
+    bits_ = num_sids_ >= 64 ? ~std::uint64_t{0}
+                            : ((std::uint64_t{1} << num_sids_) - 1);
+}
+
+void
+SidBlockBitmap::unblockAll()
+{
+    bits_ = 0;
+}
+
+} // namespace iopmp
+} // namespace siopmp

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * SID block bitmap (§5.3). Software sets a per-SID block bit before
+ * modifying that SID's IOPMP entries; the checker stalls new DMA
+ * requests from blocked SIDs, and — together with the bus monitor —
+ * the firmware waits for in-flight transactions to drain so the old
+ * and new rule sets are never observable simultaneously.
+ *
+ * Blocking is per-SID by design: other devices keep full line rate
+ * while one device's entries are being rewritten.
+ */
+
+#ifndef IOPMP_BLOCK_HH
+#define IOPMP_BLOCK_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace siopmp {
+namespace iopmp {
+
+class SidBlockBitmap
+{
+  public:
+    explicit SidBlockBitmap(unsigned num_sids = 64)
+        : num_sids_(num_sids)
+    {
+    }
+
+    /** Assert the block bit for @p sid. */
+    void block(Sid sid);
+
+    /** Deassert the block bit for @p sid. */
+    void unblock(Sid sid);
+
+    bool blocked(Sid sid) const;
+
+    /** Block/unblock every SID (global quiesce; coarse). */
+    void blockAll();
+    void unblockAll();
+
+    std::uint64_t raw() const { return bits_; }
+    unsigned numSids() const { return num_sids_; }
+
+  private:
+    bool valid(Sid sid) const { return sid < num_sids_ && sid < 64; }
+
+    std::uint64_t bits_ = 0;
+    unsigned num_sids_;
+};
+
+} // namespace iopmp
+} // namespace siopmp
+
+#endif // IOPMP_BLOCK_HH

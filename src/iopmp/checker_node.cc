@@ -1,0 +1,218 @@
+/**
+ * @file
+ * CheckerNode implementation.
+ */
+
+#include "iopmp/checker_node.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace siopmp {
+namespace iopmp {
+
+CheckerNode::CheckerNode(std::string name, bus::Link *up, bus::Link *down,
+                         bus::Link *err, SIopmp *unit,
+                         bus::BusMonitor *monitor, ViolationPolicy policy)
+    : Tickable(std::move(name)),
+      up_(up),
+      down_(down),
+      err_(err),
+      unit_(unit),
+      monitor_(monitor),
+      policy_(policy),
+      stats_(this->name())
+{
+    SIOPMP_ASSERT(up_ && down_ && unit_, "checker node wiring incomplete");
+    if (policy_ == ViolationPolicy::BusError)
+        SIOPMP_ASSERT(err_ != nullptr, "bus-error policy needs error link");
+    req_pipe_.configure(requestDelay());
+    resp_pipe_.configure(responseDelay());
+}
+
+Cycle
+CheckerNode::requestDelay() const
+{
+    // Pipeline registers only; the SID2Addr record under packet
+    // masking happens in parallel with the forwarded request.
+    return unit_->checker().extraLatency();
+}
+
+Cycle
+CheckerNode::responseDelay() const
+{
+    // Packet masking interposes the response path for the read-clear
+    // table lookup; bus-error handling leaves responses untouched.
+    return policy_ == ViolationPolicy::PacketMasking ? 1 : 0;
+}
+
+void
+CheckerNode::acceptRequests(Cycle now)
+{
+    // Reconfigure lazily in case the checker or policy was swapped
+    // between experiments.
+    req_pipe_.configure(requestDelay());
+    resp_pipe_.configure(responseDelay());
+
+    if (up_->a.empty() || !req_pipe_.canPush())
+        return;
+    const bus::Beat &beat = up_->a.front();
+    if (beat.beat_idx == 0 && monitor_)
+        monitor_->onRequestStart(beat.device);
+    req_pipe_.push(beat, now);
+    up_->a.pop();
+}
+
+void
+CheckerNode::dispatchRequests(Cycle now)
+{
+    if (!req_pipe_.ready(now))
+        return;
+    bus::Beat beat = req_pipe_.front();
+
+    // Finish draining a diverted write burst to the error node.
+    if (diverting_txn_ && *diverting_txn_ == beat.txn &&
+        bus::isWrite(beat.opcode)) {
+        if (!err_->a.canPush())
+            return;
+        err_->a.push(beat);
+        req_pipe_.pop();
+        if (beat.last)
+            diverting_txn_.reset();
+        return;
+    }
+
+    const Addr len = beat.opcode == bus::Opcode::Get
+                         ? static_cast<Addr>(beat.num_beats) *
+                               bus::kBeatBytes
+                         : bus::kBeatBytes;
+    const Perm perm = beat.requiredPerm();
+
+    // SID-missing handling: while the monitor mounts the device, poll
+    // without re-raising the interrupt.
+    if (pending_miss_ && *pending_miss_ == beat.device) {
+        if (!unit_->resolveSid(beat.device))
+            return; // still cold and unmounted; stall
+        pending_miss_.reset();
+    }
+
+    const AuthResult auth =
+        unit_->authorize(beat.device, beat.addr, len, perm, now);
+
+    switch (auth.status) {
+      case AuthStatus::SidMiss:
+        pending_miss_ = beat.device;
+        ++stats_.scalar("sid_miss_stalls");
+        return; // stall until mounted
+
+      case AuthStatus::Blocked:
+        ++stats_.scalar("block_stalls");
+        return; // per-SID block: stall (head of this device's stream)
+
+      case AuthStatus::Deny:
+        ++stats_.scalar("violations");
+        if (policy_ == ViolationPolicy::BusError) {
+            if (!err_->a.canPush())
+                return;
+            err_->a.push(beat);
+            req_pipe_.pop();
+            if (bus::isWrite(beat.opcode) && !beat.last)
+                diverting_txn_ = beat.txn;
+            return;
+        }
+        // Packet masking: writes lose their strobe; reads are recorded
+        // as violating so the response data gets cleared.
+        if (bus::isWrite(beat.opcode)) {
+            if (!down_->a.canPush())
+                return;
+            beat.strobe = 0;
+            beat.masked = true;
+            down_->a.push(beat);
+            req_pipe_.pop();
+            return;
+        }
+        if (!down_->a.canPush())
+            return;
+        sid2addr_.record(beat.route, beat.txn,
+                         {beat.device, beat.addr, /*violated=*/true});
+        down_->a.push(beat);
+        req_pipe_.pop();
+        return;
+
+      case AuthStatus::Allow:
+        if (!down_->a.canPush())
+            return;
+        if (policy_ == ViolationPolicy::PacketMasking &&
+            beat.opcode == bus::Opcode::Get) {
+            sid2addr_.record(beat.route, beat.txn,
+                             {beat.device, beat.addr, /*violated=*/false});
+        }
+        down_->a.push(beat);
+        ++stats_.scalar("beats_forwarded");
+        req_pipe_.pop();
+        return;
+    }
+}
+
+void
+CheckerNode::forwardResponses(Cycle now)
+{
+    // Error-node responses take priority (rare, single beat).
+    if (err_ && !err_->d.empty() && up_->d.canPush()) {
+        const bus::Beat &beat = err_->d.front();
+        if (beat.last && monitor_)
+            monitor_->onResponseEnd(beat.device);
+        up_->d.push(beat);
+        err_->d.pop();
+        return;
+    }
+
+    // Move fabric responses into the response pipe (masking delay).
+    if (!down_->d.empty() && resp_pipe_.canPush()) {
+        resp_pipe_.push(down_->d.front(), now);
+        down_->d.pop();
+    }
+
+    if (!resp_pipe_.ready(now) || !up_->d.canPush())
+        return;
+    bus::Beat beat = resp_pipe_.front();
+    resp_pipe_.pop();
+
+    if (policy_ == ViolationPolicy::PacketMasking &&
+        beat.opcode == bus::Opcode::AccessAckData) {
+        if (auto info = sid2addr_.lookup(beat.route, beat.txn)) {
+            if (info->violated) {
+                beat.data = 0; // read clear
+                beat.masked = true;
+                ++stats_.scalar("read_clears");
+            }
+            if (beat.last)
+                sid2addr_.release(beat.route, beat.txn);
+        }
+    }
+
+    if (beat.last && monitor_)
+        monitor_->onResponseEnd(beat.device);
+    up_->d.push(beat);
+}
+
+void
+CheckerNode::evaluate(Cycle now)
+{
+    acceptRequests(now);
+    dispatchRequests(now);
+    forwardResponses(now);
+}
+
+void
+CheckerNode::advance(Cycle)
+{
+    up_->a.clock();
+    down_->d.clock();
+    if (err_)
+        err_->d.clock();
+}
+
+} // namespace iopmp
+} // namespace siopmp

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * CheckerNode: the bus-facing cycle model of the sIOPMP checker. Sits
+ * between a DMA master (uplink) and the system fabric (downlink),
+ * intercepting every A beat, authorizing it against the SIopmp state
+ * and applying the configured violation policy:
+ *
+ *  - BusError: the offending burst is diverted to the error link where
+ *    a bus::ErrorNode terminates it with an immediate denied response.
+ *  - PacketMasking: illegal writes are strobe-masked and forwarded;
+ *    read responses pass back through the node, which clears data for
+ *    transactions the SID2Addr table marked as violating (costing one
+ *    extra cycle on each path for the table access).
+ *
+ * Pipeline timing: a checker with S stages delays each request beat by
+ * S-1 cycles (the intermediate-result registers of Fig 3a) without
+ * limiting throughput — one beat still enters per cycle. The block-
+ * state monitor (bus::BusMonitor) is updated at burst start/end so the
+ * firmware's per-SID blocking can wait for pipeline drain.
+ */
+
+#ifndef IOPMP_CHECKER_NODE_HH
+#define IOPMP_CHECKER_NODE_HH
+
+#include <deque>
+#include <optional>
+
+#include "bus/link.hh"
+#include "bus/monitor.hh"
+#include "iopmp/siopmp.hh"
+#include "sim/stats.hh"
+#include "sim/tickable.hh"
+
+namespace siopmp {
+namespace iopmp {
+
+class CheckerNode : public Tickable
+{
+  public:
+    /**
+     * @param up       link from the DMA master
+     * @param down     link toward the xbar/memory
+     * @param err      link toward the error node (BusError policy);
+     *                 may be null under PacketMasking
+     * @param unit     the sIOPMP functional state and checker logic
+     * @param monitor  block-state consistency monitor (may be null)
+     */
+    CheckerNode(std::string name, bus::Link *up, bus::Link *down,
+                bus::Link *err, SIopmp *unit, bus::BusMonitor *monitor,
+                ViolationPolicy policy);
+
+    void evaluate(Cycle now) override;
+    void advance(Cycle now) override;
+
+    ViolationPolicy policy() const { return policy_; }
+    void setPolicy(ViolationPolicy policy) { policy_ = policy; }
+
+    stats::Group &statsGroup() { return stats_; }
+
+  private:
+    /** Fixed-latency pipeline register chain. */
+    class DelayPipe
+    {
+      public:
+        void
+        configure(Cycle delay)
+        {
+            delay_ = delay;
+        }
+
+        bool
+        canPush() const
+        {
+            return q_.size() < delay_ + 2;
+        }
+
+        void
+        push(const bus::Beat &beat, Cycle now)
+        {
+            q_.push_back(Slot{beat, now + delay_});
+        }
+
+        bool
+        ready(Cycle now) const
+        {
+            return !q_.empty() && q_.front().ready_at <= now;
+        }
+
+        const bus::Beat &front() const { return q_.front().beat; }
+        void pop() { q_.pop_front(); }
+        bool empty() const { return q_.empty(); }
+
+      private:
+        struct Slot {
+            bus::Beat beat;
+            Cycle ready_at;
+        };
+        std::deque<Slot> q_;
+        Cycle delay_ = 0;
+    };
+
+    void acceptRequests(Cycle now);
+    void dispatchRequests(Cycle now);
+    void forwardResponses(Cycle now);
+
+    Cycle requestDelay() const;
+    Cycle responseDelay() const;
+
+    bus::Link *up_;
+    bus::Link *down_;
+    bus::Link *err_;
+    SIopmp *unit_;
+    bus::BusMonitor *monitor_;
+    ViolationPolicy policy_;
+
+    DelayPipe req_pipe_;
+    DelayPipe resp_pipe_;
+    Sid2AddrTable sid2addr_;
+
+    //! Divert latch: while a denied write burst drains under BusError,
+    //! its remaining beats must follow it to the error node.
+    std::optional<std::uint64_t> diverting_txn_;
+    //! Edge trigger for SID-missing: avoid re-raising the interrupt
+    //! every cycle while the monitor services the mount.
+    std::optional<DeviceId> pending_miss_;
+
+    stats::Group stats_;
+};
+
+} // namespace iopmp
+} // namespace siopmp
+
+#endif // IOPMP_CHECKER_NODE_HH

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * SIopmp: the functional top of the sIOPMP extension. Owns every
+ * architectural structure — entry table, SRC2MD, MDCFG, DeviceID2SID
+ * CAM, eSID register, SID block bitmap, violation record — plus the
+ * configured checker logic, and exposes:
+ *
+ *  - authorize(): the data-path decision for one DMA access, including
+ *    CAM lookup, cold (eSID) matching and SID-missing detection;
+ *  - an MMIO register window (mem::MmioDevice) used by the secure
+ *    monitor over the periphery bus;
+ *  - an interrupt callback through which SID-missing and violation
+ *    interrupts reach the CPU.
+ *
+ * The bus-facing cycle model wrapping this object is CheckerNode.
+ */
+
+#ifndef IOPMP_SIOPMP_HH
+#define IOPMP_SIOPMP_HH
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "iopmp/block.hh"
+#include "iopmp/checker.hh"
+#include "iopmp/remap_cam.hh"
+#include "iopmp/tables.hh"
+#include "iopmp/violation.hh"
+#include "mem/mmio.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace siopmp {
+namespace iopmp {
+
+/** Data-path outcome for one access. */
+enum class AuthStatus {
+    Allow,   //!< permitted; forward to memory
+    Deny,    //!< IOPMP violation; apply the violation policy
+    Blocked, //!< SID block bit set; stall the request
+    SidMiss, //!< unknown device; raise SID-missing interrupt
+};
+
+struct AuthResult {
+    AuthStatus status = AuthStatus::Deny;
+    Sid sid = kNoSid;   //!< resolved SID (valid unless SidMiss)
+    int entry = -1;     //!< deciding entry index, -1 if none
+};
+
+/** Interrupts the module can raise. */
+enum class IrqKind { Violation, SidMissing };
+
+struct Irq {
+    IrqKind kind;
+    DeviceId device;
+    Addr addr;
+    Perm attempted;
+};
+
+/** MMIO register map offsets (64-bit registers). */
+namespace regmap {
+//! Entry CFG mode encodings (bits 3:2).
+inline constexpr unsigned kModeOff = 0;
+inline constexpr unsigned kModeRange = 1;
+inline constexpr unsigned kModeNapot = 2;
+//! PMP-heritage top-of-range: region = [previous entry's end, ADDR).
+inline constexpr unsigned kModeTor = 3;
+
+inline constexpr Addr kSrc2MdBase = 0x00000; //!< + sid * 8
+inline constexpr Addr kMdCfgBase = 0x01000;  //!< + md * 8
+inline constexpr Addr kBlockBitmap = 0x02000;
+inline constexpr Addr kEsid = 0x02008;       //!< valid<<63 | device id
+inline constexpr Addr kErrAddr = 0x02010;
+inline constexpr Addr kErrDevice = 0x02018;
+inline constexpr Addr kErrInfo = 0x02020;    //!< valid<<63 | perm
+inline constexpr Addr kCamBase = 0x03000;    //!< + sid * 8; valid<<63|dev
+inline constexpr Addr kEntryBase = 0x10000;  //!< + idx * 32
+inline constexpr Addr kEntryStride = 32;     //!< base,size,cfg,pad
+inline constexpr Addr kWindowSize = 0x20000;
+} // namespace regmap
+
+class SIopmp : public mem::MmioDevice
+{
+  public:
+    using IrqHandler = std::function<void(const Irq &)>;
+
+    SIopmp(IopmpConfig cfg, CheckerKind kind, unsigned stages);
+
+    // ---- data path -----------------------------------------------------
+
+    /**
+     * Authorize one DMA access of @p len bytes at @p addr from
+     * @p device. Raises interrupts through the handler as a side
+     * effect (SID-missing on unknown device, violation on deny).
+     */
+    AuthResult authorize(DeviceId device, Addr addr, Addr len, Perm perm,
+                         Cycle now = 0);
+
+    /** Resolve a device to a SID without side effects (tests). */
+    std::optional<Sid> resolveSid(DeviceId device) const;
+
+    // ---- architectural state -------------------------------------------
+
+    EntryTable &entryTable() { return entries_; }
+    const EntryTable &entryTable() const { return entries_; }
+    Src2MdTable &src2md() { return src2md_; }
+    MdCfgTable &mdcfg() { return mdcfg_; }
+    DeviceId2SidCam &cam() { return cam_; }
+    SidBlockBitmap &blockBitmap() { return blocks_; }
+    const IopmpConfig &config() const { return cfg_; }
+
+    /** The cold-device slot: SID used for the mounted cold device. */
+    Sid coldSid() const { return cfg_.num_sids - 1; }
+
+    /** Currently mounted cold device (eSID register), if any. */
+    std::optional<DeviceId> mountedCold() const { return esid_; }
+
+    /** Load the eSID register (performed by the monitor on mount). */
+    void setMountedCold(std::optional<DeviceId> device) { esid_ = device; }
+
+    /** Swap the checker configuration (between experiments). */
+    void setChecker(CheckerKind kind, unsigned stages);
+    const CheckerLogic &checker() const { return *checker_; }
+
+    /** Latched violation record, if an unread one exists. */
+    std::optional<ViolationRecord> violationRecord() const;
+    void clearViolationRecord() { violation_.reset(); }
+
+    void setIrqHandler(IrqHandler handler) { irq_ = std::move(handler); }
+
+    stats::Group &statsGroup() { return stats_; }
+
+    // ---- MmioDevice ------------------------------------------------------
+
+    std::uint64_t mmioRead(Addr offset) override;
+    void mmioWrite(Addr offset, std::uint64_t value) override;
+
+  private:
+    void raise(const Irq &irq);
+
+    IopmpConfig cfg_;
+    EntryTable entries_;
+    Src2MdTable src2md_;
+    MdCfgTable mdcfg_;
+    DeviceId2SidCam cam_;
+    SidBlockBitmap blocks_;
+    std::unique_ptr<CheckerLogic> checker_;
+    std::optional<DeviceId> esid_;
+    std::optional<ViolationRecord> violation_;
+    IrqHandler irq_;
+    stats::Group stats_;
+
+    // MMIO staging for entry writes (base/size latched, cfg commits).
+    struct EntryStage {
+        std::uint64_t base = 0;
+        std::uint64_t size = 0;
+    };
+    std::unordered_map<unsigned, EntryStage> entry_stage_;
+};
+
+} // namespace iopmp
+} // namespace siopmp
+
+#endif // IOPMP_SIOPMP_HH

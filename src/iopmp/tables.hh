@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The three IOPMP configuration tables of Fig 1:
+ *
+ *  - EntryTable:  priority-ordered IOPMP entries (rules).
+ *  - Src2MdTable: per-SID register with a sticky lock bit and a bitmap
+ *                 of associated memory domains (MD[62:0]).
+ *  - MdCfgTable:  per-MD register MD_m.T giving the top entry index of
+ *                 memory domain m; entry j belongs to MD m iff
+ *                 MD_{m-1}.T <= j < MD_m.T (MD 0 owns j < MD_0.T).
+ */
+
+#ifndef IOPMP_TABLES_HH
+#define IOPMP_TABLES_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "iopmp/entry.hh"
+#include "sim/types.hh"
+
+namespace siopmp {
+namespace iopmp {
+
+/** Architectural sizing (Table 2 defaults; all overridable). */
+struct IopmpConfig {
+    unsigned num_entries = 1024; //!< hardware IOPMP entries
+    unsigned num_sids = 64;      //!< in-SoC source IDs
+    unsigned num_mds = 63;       //!< memory domains (bitmap MD[62:0])
+
+    /** MD index reserved for mounted cold devices (§4.2). */
+    MdIndex coldMd() const { return num_mds - 1; }
+};
+
+/**
+ * Hardware entry register file.
+ */
+class EntryTable
+{
+  public:
+    explicit EntryTable(unsigned num_entries);
+
+    unsigned size() const { return static_cast<unsigned>(entries_.size()); }
+
+    const Entry &get(unsigned idx) const;
+
+    /**
+     * Write entry @p idx. Fails (returns false) if the existing entry
+     * is locked and @p machine_mode is false.
+     */
+    bool set(unsigned idx, const Entry &entry, bool machine_mode = true);
+
+    /** Clear (disable) entry @p idx; same lock rule as set(). */
+    bool clear(unsigned idx, bool machine_mode = true);
+
+    /** Lock entry @p idx (sticky until reset). */
+    void lock(unsigned idx);
+
+    /** Number of writes since construction (drives Fig 13 costs). */
+    std::uint64_t writeCount() const { return writes_; }
+
+    /** Full reset (simulation-only; real hardware resets on POR). */
+    void resetAll();
+
+  private:
+    std::vector<Entry> entries_;
+    std::uint64_t writes_ = 0;
+};
+
+/**
+ * SRC2MD table: SID -> memory-domain bitmap, with per-register sticky
+ * lock (SRC_x MD.L).
+ */
+class Src2MdTable
+{
+  public:
+    Src2MdTable(unsigned num_sids, unsigned num_mds);
+
+    unsigned numSids() const { return static_cast<unsigned>(rows_.size()); }
+    unsigned numMds() const { return num_mds_; }
+
+    /** Associate/deassociate MD @p md with @p sid. Respects the lock. */
+    bool associate(Sid sid, MdIndex md);
+    bool deassociate(Sid sid, MdIndex md);
+
+    /** Replace the whole bitmap (used by cold-device mounting). */
+    bool setBitmap(Sid sid, std::uint64_t bitmap);
+
+    std::uint64_t bitmap(Sid sid) const;
+    bool associated(Sid sid, MdIndex md) const;
+
+    bool locked(Sid sid) const;
+    void lock(Sid sid);
+
+    void resetAll();
+
+  private:
+    struct Row {
+        std::uint64_t md_bitmap = 0;
+        bool lock = false;
+    };
+
+    bool validSid(Sid sid) const { return sid < rows_.size(); }
+
+    std::vector<Row> rows_;
+    unsigned num_mds_;
+};
+
+/**
+ * MDCFG table: memory domain -> contiguous slice of the entry table.
+ * The T values must be monotonically non-decreasing; writes violating
+ * that are rejected.
+ */
+class MdCfgTable
+{
+  public:
+    MdCfgTable(unsigned num_mds, unsigned num_entries);
+
+    unsigned numMds() const { return static_cast<unsigned>(tops_.size()); }
+
+    /** Set MD_m.T. Rejected if it breaks monotonicity or exceeds the
+     * entry count. */
+    bool setTop(MdIndex md, unsigned top);
+
+    unsigned top(MdIndex md) const;
+
+    /** First entry index belonging to @p md. */
+    unsigned lo(MdIndex md) const;
+
+    /** One past the last entry index belonging to @p md. */
+    unsigned hi(MdIndex md) const { return top(md); }
+
+    /** Memory domain owning entry @p idx, or -1 if unassigned. */
+    int mdOfEntry(unsigned idx) const;
+
+    void resetAll();
+
+  private:
+    std::vector<unsigned> tops_;
+    unsigned num_entries_;
+};
+
+} // namespace iopmp
+} // namespace siopmp
+
+#endif // IOPMP_TABLES_HH

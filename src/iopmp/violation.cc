@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Violation-handling support implementation.
+ */
+
+#include "iopmp/violation.hh"
+
+namespace siopmp {
+namespace iopmp {
+
+const char *
+violationPolicyName(ViolationPolicy policy)
+{
+    switch (policy) {
+      case ViolationPolicy::BusError: return "bus-error";
+      case ViolationPolicy::PacketMasking: return "packet-masking";
+    }
+    return "?";
+}
+
+void
+Sid2AddrTable::record(std::uint32_t route, std::uint64_t txn,
+                      const Info &info)
+{
+    map_[key(route, txn)] = info;
+}
+
+std::optional<Sid2AddrTable::Info>
+Sid2AddrTable::lookup(std::uint32_t route, std::uint64_t txn) const
+{
+    auto it = map_.find(key(route, txn));
+    if (it == map_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+Sid2AddrTable::release(std::uint32_t route, std::uint64_t txn)
+{
+    map_.erase(key(route, txn));
+}
+
+} // namespace iopmp
+} // namespace siopmp

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Violation handling (§5.2, Fig 7). Two mechanisms:
+ *
+ *  - Packet masking: illegal writes have their write strobe zeroed so
+ *    the data never lands; illegal reads proceed, but the response
+ *    data is cleared ("read clear") on the way back. Because response
+ *    beats must be attributed to the transaction that produced them,
+ *    the checker keeps a SID2Addr table mapping outstanding
+ *    transactions to their source/verdict — the table lookup is the
+ *    extra cycle packet masking costs on each path.
+ *
+ *  - Bus-error handling: the violating burst is diverted to a dummy
+ *    error node that terminates it immediately with a denied response.
+ *
+ * Both mechanisms latch an error record (address, device, access type)
+ * and raise an IOPMP-violation interrupt to the secure monitor.
+ */
+
+#ifndef IOPMP_VIOLATION_HH
+#define IOPMP_VIOLATION_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+#include "sim/types.hh"
+
+namespace siopmp {
+namespace iopmp {
+
+/** Which violation mechanism the checker node applies. */
+enum class ViolationPolicy {
+    BusError,      //!< divert to error node, terminate burst early
+    PacketMasking, //!< strobe-mask writes, clear read responses
+};
+
+const char *violationPolicyName(ViolationPolicy policy);
+
+/** Latched error information, readable over MMIO by the monitor. */
+struct ViolationRecord {
+    Addr addr = 0;
+    DeviceId device = 0;
+    Perm attempted = Perm::None;
+    Cycle when = 0;
+};
+
+/**
+ * SID2Addr table: outstanding-transaction state for packet masking.
+ * Keyed by (master route, transaction id); remembers the requesting
+ * device and whether the access violated, so read responses can be
+ * cleared and attributed.
+ */
+class Sid2AddrTable
+{
+  public:
+    struct Info {
+        DeviceId device = 0;
+        Addr addr = 0;
+        bool violated = false;
+    };
+
+    /** Record an outstanding read transaction. */
+    void record(std::uint32_t route, std::uint64_t txn, const Info &info);
+
+    /** Lookup (without removing); nullopt if unknown. */
+    std::optional<Info> lookup(std::uint32_t route,
+                               std::uint64_t txn) const;
+
+    /** Remove after the final response beat. */
+    void release(std::uint32_t route, std::uint64_t txn);
+
+    std::size_t size() const { return map_.size(); }
+
+  private:
+    static std::uint64_t
+    key(std::uint32_t route, std::uint64_t txn)
+    {
+        return (static_cast<std::uint64_t>(route) << 48) ^ txn;
+    }
+
+    std::unordered_map<std::uint64_t, Info> map_;
+};
+
+} // namespace iopmp
+} // namespace siopmp
+
+#endif // IOPMP_VIOLATION_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * MemMap implementation.
+ */
+
+#include "mem/memmap.hh"
+
+#include <algorithm>
+
+namespace siopmp {
+namespace mem {
+
+bool
+MemMap::add(Region region)
+{
+    if (region.range.size == 0)
+        return false;
+    for (const auto &existing : regions_) {
+        if (existing.range.overlaps(region.range))
+            return false;
+    }
+    auto pos = std::lower_bound(
+        regions_.begin(), regions_.end(), region,
+        [](const Region &a, const Region &b) {
+            return a.range.base < b.range.base;
+        });
+    regions_.insert(pos, std::move(region));
+    return true;
+}
+
+const Region *
+MemMap::find(Addr addr) const
+{
+    for (const auto &region : regions_) {
+        if (region.range.contains(addr))
+            return &region;
+        if (region.range.base > addr)
+            break; // sorted; no later region can contain addr
+    }
+    return nullptr;
+}
+
+const Region *
+MemMap::findByName(const std::string &name) const
+{
+    for (const auto &region : regions_) {
+        if (region.name == name)
+            return &region;
+    }
+    return nullptr;
+}
+
+} // namespace mem
+} // namespace siopmp

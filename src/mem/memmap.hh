@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Physical memory map: named, non-overlapping address regions with
+ * attributes. Used by the firmware to carve TEE memory, device buffers
+ * and the protected extended-IOPMP-table region.
+ */
+
+#ifndef MEM_MEMMAP_HH
+#define MEM_MEMMAP_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace siopmp {
+namespace mem {
+
+/** A half-open address range [base, base + size). */
+struct Range {
+    Addr base = 0;
+    Addr size = 0;
+
+    Addr end() const { return base + size; }
+
+    bool
+    contains(Addr addr) const
+    {
+        return addr >= base && addr < end();
+    }
+
+    /** True iff [addr, addr+len) lies fully inside this range. */
+    bool
+    containsBlock(Addr addr, Addr len) const
+    {
+        return addr >= base && len <= size && addr - base <= size - len;
+    }
+
+    bool
+    overlaps(const Range &other) const
+    {
+        return base < other.end() && other.base < end();
+    }
+
+    bool operator==(const Range &other) const = default;
+};
+
+/** Region attributes. */
+enum class RegionKind {
+    Dram,       //!< ordinary memory
+    Mmio,       //!< device registers
+    Protected,  //!< firmware-only (e.g. extended IOPMP table)
+};
+
+struct Region {
+    std::string name;
+    Range range;
+    RegionKind kind = RegionKind::Dram;
+};
+
+/**
+ * Ordered, non-overlapping set of regions.
+ */
+class MemMap
+{
+  public:
+    /**
+     * Add a region. Returns false (and adds nothing) if it overlaps an
+     * existing region or has zero size.
+     */
+    bool add(Region region);
+
+    /** Region containing @p addr, if any. */
+    const Region *find(Addr addr) const;
+
+    /** Region by name, if any. */
+    const Region *findByName(const std::string &name) const;
+
+    const std::vector<Region> &regions() const { return regions_; }
+
+  private:
+    std::vector<Region> regions_; // kept sorted by base
+};
+
+} // namespace mem
+} // namespace siopmp
+
+#endif // MEM_MEMMAP_HH

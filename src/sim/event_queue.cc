@@ -1,0 +1,67 @@
+/**
+ * @file
+ * EventQueue implementation.
+ */
+
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace siopmp {
+
+void
+EventQueue::schedule(Cycle when, Callback cb)
+{
+    SIOPMP_ASSERT(when >= now_, "scheduling event in the past");
+    heap_.push(Item{when, next_seq_++, std::move(cb)});
+}
+
+void
+EventQueue::scheduleIn(Cycle delay, Callback cb)
+{
+    schedule(now_ + delay, std::move(cb));
+}
+
+Cycle
+EventQueue::nextEventCycle() const
+{
+    return heap_.empty() ? kNever : heap_.top().when;
+}
+
+void
+EventQueue::runUntil(Cycle until)
+{
+    while (!heap_.empty() && heap_.top().when <= until) {
+        // Copy out before pop so the callback may schedule new events.
+        Item item = heap_.top();
+        heap_.pop();
+        now_ = item.when;
+        item.cb();
+    }
+    if (now_ < until)
+        now_ = until;
+}
+
+Cycle
+EventQueue::runAll()
+{
+    while (!heap_.empty()) {
+        Item item = heap_.top();
+        heap_.pop();
+        now_ = item.when;
+        item.cb();
+    }
+    return now_;
+}
+
+void
+EventQueue::reset()
+{
+    heap_ = decltype(heap_)();
+    now_ = 0;
+    next_seq_ = 0;
+}
+
+} // namespace siopmp

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Discrete-event queue keyed by cycle. Events scheduled at the same
+ * cycle fire in insertion order (stable), which keeps the simulation
+ * deterministic.
+ */
+
+#ifndef SIM_EVENT_QUEUE_HH
+#define SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace siopmp {
+
+/**
+ * Time-ordered queue of callbacks. Owned by the Simulator but usable
+ * standalone (e.g. in unit tests).
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule @p cb to run at absolute cycle @p when. */
+    void schedule(Cycle when, Callback cb);
+
+    /** Schedule @p cb to run @p delay cycles after now(). */
+    void scheduleIn(Cycle delay, Callback cb);
+
+    /** Current simulation time. */
+    Cycle now() const { return now_; }
+
+    /** True iff no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return heap_.size(); }
+
+    /** Cycle of the next pending event; kNever if empty. */
+    Cycle nextEventCycle() const;
+
+    /**
+     * Run all events up to and including cycle @p until. Advances now()
+     * to @p until even if the queue drains earlier.
+     */
+    void runUntil(Cycle until);
+
+    /** Run until the queue drains. Returns the final cycle. */
+    Cycle runAll();
+
+    /** Drop all pending events and reset time to zero. */
+    void reset();
+
+  private:
+    struct Item {
+        Cycle when;
+        std::uint64_t seq; // tie-breaker: insertion order
+        Callback cb;
+    };
+
+    struct Later {
+        bool
+        operator()(const Item &a, const Item &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Item, std::vector<Item>, Later> heap_;
+    Cycle now_ = 0;
+    std::uint64_t next_seq_ = 0;
+};
+
+} // namespace siopmp
+
+#endif // SIM_EVENT_QUEUE_HH

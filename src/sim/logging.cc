@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Logger implementation.
+ */
+
+#include "sim/logging.hh"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cstdlib>
+
+namespace siopmp {
+
+namespace {
+
+std::array<bool, static_cast<unsigned>(TraceFlag::NumFlags)> trace_flags{};
+bool quiet_mode = false;
+
+const char *const flag_names[] = {
+    "bus", "iopmp", "iommu", "device", "monitor", "workload",
+};
+
+int
+flagIndex(const std::string &name)
+{
+    std::string lower(name);
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    for (unsigned i = 0; i < static_cast<unsigned>(TraceFlag::NumFlags);
+         ++i) {
+        if (lower == flag_names[i])
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+void
+vlog(const char *prefix, const char *fmt, va_list args)
+{
+    std::fprintf(stderr, "%s", prefix);
+    std::vfprintf(stderr, fmt, args);
+    std::fputc('\n', stderr);
+}
+
+} // namespace
+
+bool
+Logger::enable(const std::string &flag_name)
+{
+    int idx = flagIndex(flag_name);
+    if (idx < 0)
+        return false;
+    trace_flags[static_cast<unsigned>(idx)] = true;
+    return true;
+}
+
+bool
+Logger::disable(const std::string &flag_name)
+{
+    int idx = flagIndex(flag_name);
+    if (idx < 0)
+        return false;
+    trace_flags[static_cast<unsigned>(idx)] = false;
+    return true;
+}
+
+bool
+Logger::enabled(TraceFlag flag)
+{
+    return trace_flags[static_cast<unsigned>(flag)];
+}
+
+void
+Logger::setQuiet(bool quiet)
+{
+    quiet_mode = quiet;
+}
+
+bool
+Logger::quiet()
+{
+    return quiet_mode;
+}
+
+void
+Logger::trace(TraceFlag flag, const char *fmt, ...)
+{
+    if (!enabled(flag))
+        return;
+    va_list args;
+    va_start(args, fmt);
+    std::string prefix =
+        std::string("[") + flag_names[static_cast<unsigned>(flag)] + "] ";
+    vlog(prefix.c_str(), fmt, args);
+    va_end(args);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (quiet_mode)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    vlog("info: ", fmt, args);
+    va_end(args);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (quiet_mode)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    vlog("warn: ", fmt, args);
+    va_end(args);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vlog("fatal: ", fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vlog("panic: ", fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+} // namespace siopmp

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Logging and error reporting, following the gem5 severity split:
+ * panic() for simulator bugs, fatal() for user errors, warn()/inform()
+ * for status. Trace output is gated by named flags.
+ */
+
+#ifndef SIM_LOGGING_HH
+#define SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace siopmp {
+
+/** Trace categories; enable with Logger::enable("Bus") etc. */
+enum class TraceFlag : unsigned {
+    Bus = 0,
+    Iopmp,
+    Iommu,
+    Device,
+    Monitor,
+    Workload,
+    NumFlags,
+};
+
+/**
+ * Process-wide logger. The simulator is single-threaded by design, so no
+ * synchronization is required.
+ */
+class Logger
+{
+  public:
+    /** Enable a trace flag by name (case-insensitive). Returns false if
+     * the name is unknown. */
+    static bool enable(const std::string &flag_name);
+
+    /** Disable a trace flag by name. */
+    static bool disable(const std::string &flag_name);
+
+    /** True iff the given trace flag is enabled. */
+    static bool enabled(TraceFlag flag);
+
+    /** Enable/disable all informational output (inform/warn). */
+    static void setQuiet(bool quiet);
+    static bool quiet();
+
+    /** printf-style trace line, emitted only if the flag is enabled. */
+    static void trace(TraceFlag flag, const char *fmt, ...)
+        __attribute__((format(printf, 2, 3)));
+};
+
+/** Status message for the user; no connotation of incorrect behaviour. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Something may be wrong but simulation can continue. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Unrecoverable user error (bad configuration); exits with code 1. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Simulator bug: should never happen regardless of input; aborts. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** panic() unless the condition holds. */
+#define SIOPMP_ASSERT(cond, ...)                                          \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::siopmp::panic("assertion '%s' failed at %s:%d: " __VA_ARGS__,\
+                            #cond, __FILE__, __LINE__);                    \
+        }                                                                  \
+    } while (0)
+
+} // namespace siopmp
+
+#endif // SIM_LOGGING_HH

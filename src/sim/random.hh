@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (xoshiro256**). The
+ * simulator never uses std::random_device so that every run is
+ * reproducible from its seed.
+ */
+
+#ifndef SIM_RANDOM_HH
+#define SIM_RANDOM_HH
+
+#include <cstdint>
+
+namespace siopmp {
+
+/**
+ * Small, fast, deterministic RNG. Not cryptographic; used only for
+ * workload generation and replacement-policy tie-breaking.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x5109b3a1dULL) { reseed(seed); }
+
+    /** Re-initialize state from a 64-bit seed via splitmix64. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            // splitmix64 step
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Rejection-free multiply-shift; bias is negligible for the
+        // bounds used in workloads (all << 2^32).
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+    /** Exponential variate with the given mean. */
+    double
+    exponential(double mean)
+    {
+        double u = uniform();
+        // Guard against log(0).
+        if (u <= 0.0)
+            u = 0x1.0p-53;
+        return -mean * log_(1.0 - u);
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    /** Minimal natural log via __builtin to avoid <cmath> in a header
+     * that is included everywhere. */
+    static double log_(double v) { return __builtin_log(v); }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace siopmp
+
+#endif // SIM_RANDOM_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Simulator implementation.
+ */
+
+#include "sim/simulator.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace siopmp {
+
+void
+Simulator::add(Tickable *component)
+{
+    SIOPMP_ASSERT(component != nullptr, "null component");
+    components_.push_back(component);
+}
+
+void
+Simulator::remove(Tickable *component)
+{
+    components_.erase(
+        std::remove(components_.begin(), components_.end(), component),
+        components_.end());
+}
+
+void
+Simulator::step()
+{
+    events_.runUntil(now_);
+    for (auto *c : components_)
+        c->evaluate(now_);
+    for (auto *c : components_)
+        c->advance(now_);
+    ++now_;
+}
+
+void
+Simulator::run(Cycle n)
+{
+    for (Cycle i = 0; i < n; ++i)
+        step();
+}
+
+Cycle
+Simulator::runUntil(const std::function<bool()> &done, Cycle max_cycles)
+{
+    Cycle start = now_;
+    while (!done()) {
+        if (now_ - start >= max_cycles) {
+            warn("runUntil: hit max_cycles=%llu without completing",
+                 static_cast<unsigned long long>(max_cycles));
+            break;
+        }
+        step();
+    }
+    return now_ - start;
+}
+
+void
+Simulator::resetTime()
+{
+    events_.reset();
+    now_ = 0;
+}
+
+} // namespace siopmp

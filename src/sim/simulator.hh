@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Top-level simulation driver: owns the cycle loop, ticks registered
+ * components in two phases and services the event queue in between.
+ */
+
+#ifndef SIM_SIMULATOR_HH
+#define SIM_SIMULATOR_HH
+
+#include <functional>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/tickable.hh"
+#include "sim/types.hh"
+
+namespace siopmp {
+
+/**
+ * Cycle-driven simulator. Components are ticked in registration order;
+ * determinism is guaranteed because each component's evaluate() only
+ * reads previous-cycle state.
+ */
+class Simulator
+{
+  public:
+    /** Register a component (not owned). */
+    void add(Tickable *component);
+
+    /** Remove a previously added component. */
+    void remove(Tickable *component);
+
+    /** Run a single cycle: events, evaluate-all, advance-all. */
+    void step();
+
+    /** Run @p n cycles. */
+    void run(Cycle n);
+
+    /**
+     * Run until @p done returns true or @p max_cycles elapse.
+     * @return number of cycles actually run.
+     */
+    Cycle runUntil(const std::function<bool()> &done,
+                   Cycle max_cycles = 100'000'000);
+
+    Cycle now() const { return now_; }
+    EventQueue &events() { return events_; }
+
+    /** Reset time (components keep their state; callers reset those). */
+    void resetTime();
+
+  private:
+    std::vector<Tickable *> components_;
+    EventQueue events_;
+    Cycle now_ = 0;
+};
+
+} // namespace siopmp
+
+#endif // SIM_SIMULATOR_HH

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Statistics framework implementation.
+ */
+
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace siopmp {
+namespace stats {
+
+void
+Distribution::sample(double v)
+{
+    samples_.push_back(v);
+    sorted_ = false;
+}
+
+void
+Distribution::ensureSorted() const
+{
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+}
+
+double
+Distribution::min() const
+{
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    return samples_.front();
+}
+
+double
+Distribution::max() const
+{
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    return samples_.back();
+}
+
+double
+Distribution::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : samples_)
+        sum += v;
+    return sum / static_cast<double>(samples_.size());
+}
+
+double
+Distribution::percentile(double pct) const
+{
+    SIOPMP_ASSERT(pct >= 0.0 && pct <= 100.0, "percentile out of range");
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    // Nearest-rank method.
+    const auto n = samples_.size();
+    std::size_t rank = static_cast<std::size_t>(
+        std::ceil(pct / 100.0 * static_cast<double>(n)));
+    if (rank == 0)
+        rank = 1;
+    if (rank > n)
+        rank = n;
+    return samples_[rank - 1];
+}
+
+Histogram::Histogram(double lo, double width, std::size_t nbuckets)
+    : lo_(lo), width_(width), buckets_(nbuckets, 0)
+{
+    SIOPMP_ASSERT(width > 0.0 && nbuckets > 0, "bad histogram shape");
+}
+
+void
+Histogram::sample(double v)
+{
+    ++total_;
+    if (v < lo_) {
+        ++underflow_;
+        return;
+    }
+    const auto idx =
+        static_cast<std::size_t>((v - lo_) / width_);
+    if (idx >= buckets_.size()) {
+        ++overflow_;
+        return;
+    }
+    ++buckets_[idx];
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    underflow_ = overflow_ = total_ = 0;
+}
+
+Scalar &
+Group::scalar(const std::string &stat_name)
+{
+    auto [it, inserted] = scalars_.try_emplace(stat_name);
+    if (inserted)
+        order_.push_back("s:" + stat_name);
+    return it->second;
+}
+
+Average &
+Group::average(const std::string &stat_name)
+{
+    auto [it, inserted] = averages_.try_emplace(stat_name);
+    if (inserted)
+        order_.push_back("a:" + stat_name);
+    return it->second;
+}
+
+Distribution &
+Group::distribution(const std::string &stat_name)
+{
+    auto [it, inserted] = distributions_.try_emplace(stat_name);
+    if (inserted)
+        order_.push_back("d:" + stat_name);
+    return it->second;
+}
+
+void
+Group::dump(std::ostream &os) const
+{
+    for (const auto &key : order_) {
+        const char kind = key[0];
+        const std::string stat_name = key.substr(2);
+        if (kind == 's') {
+            os << name_ << '.' << stat_name << ' '
+               << scalars_.at(stat_name).value() << '\n';
+        } else if (kind == 'a') {
+            const auto &avg = averages_.at(stat_name);
+            os << name_ << '.' << stat_name << ".mean " << avg.mean()
+               << '\n';
+            os << name_ << '.' << stat_name << ".count " << avg.count()
+               << '\n';
+        } else {
+            const auto &dist = distributions_.at(stat_name);
+            os << name_ << '.' << stat_name << ".p50 "
+               << dist.percentile(50) << '\n';
+            os << name_ << '.' << stat_name << ".p99 "
+               << dist.percentile(99) << '\n';
+            os << name_ << '.' << stat_name << ".count " << dist.count()
+               << '\n';
+        }
+    }
+}
+
+void
+Group::resetAll()
+{
+    for (auto &[k, v] : scalars_)
+        v.reset();
+    for (auto &[k, v] : averages_)
+        v.reset();
+    for (auto &[k, v] : distributions_)
+        v.reset();
+}
+
+} // namespace stats
+} // namespace siopmp

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Statistics framework: named scalar counters, averages, histograms and
+ * percentile distributions, grouped per component and dumpable as text.
+ */
+
+#ifndef SIM_STATS_HH
+#define SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace siopmp {
+namespace stats {
+
+/** Monotonically increasing counter. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    Scalar &operator++() { ++value_; return *this; }
+    Scalar &operator+=(double v) { value_ += v; return *this; }
+    void set(double v) { value_ = v; }
+    double value() const { return value_; }
+    void reset() { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** Running average (mean of samples). */
+class Average
+{
+  public:
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        ++count_;
+    }
+
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    void reset() { sum_ = 0.0; count_ = 0; }
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * Full-sample distribution supporting exact percentiles. Used for
+ * latency statistics (memcached p50/p99). Stores every sample; callers
+ * that need bounded memory should use Histogram instead.
+ */
+class Distribution
+{
+  public:
+    void sample(double v);
+
+    std::uint64_t count() const { return samples_.size(); }
+    double min() const;
+    double max() const;
+    double mean() const;
+
+    /** Exact percentile in [0, 100] by nearest-rank on sorted samples. */
+    double percentile(double pct) const;
+
+    void reset() { samples_.clear(); sorted_ = true; }
+
+  private:
+    void ensureSorted() const;
+
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+};
+
+/** Fixed-bucket histogram. */
+class Histogram
+{
+  public:
+    /** Buckets: [lo, lo+width), [lo+width, ...), plus under/overflow. */
+    Histogram(double lo, double width, std::size_t nbuckets);
+
+    void sample(double v);
+
+    std::uint64_t bucketCount(std::size_t i) const { return buckets_.at(i); }
+    std::size_t numBuckets() const { return buckets_.size(); }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t totalSamples() const { return total_; }
+    void reset();
+
+  private:
+    double lo_;
+    double width_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * A named group of statistics owned by a component. Scalars and
+ * averages are registered by name and dumped in registration order.
+ */
+class Group
+{
+  public:
+    explicit Group(std::string name) : name_(std::move(name)) {}
+
+    /** Register (or fetch) a named scalar. */
+    Scalar &scalar(const std::string &stat_name);
+
+    /** Register (or fetch) a named average. */
+    Average &average(const std::string &stat_name);
+
+    /** Register (or fetch) a named distribution. */
+    Distribution &distribution(const std::string &stat_name);
+
+    const std::string &name() const { return name_; }
+
+    /** Write all stats as "group.stat value" lines. */
+    void dump(std::ostream &os) const;
+
+    /** Reset every stat in the group. */
+    void resetAll();
+
+  private:
+    std::string name_;
+    std::map<std::string, Scalar> scalars_;
+    std::map<std::string, Average> averages_;
+    std::map<std::string, Distribution> distributions_;
+    std::vector<std::string> order_; // "s:name" / "a:name" / "d:name"
+};
+
+} // namespace stats
+} // namespace siopmp
+
+#endif // SIM_STATS_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Two-phase cycle-driven component interface. Each cycle every component
+ * first evaluates combinational outputs (evaluate), then commits state
+ * (advance). This mirrors how synchronous RTL behaves and lets ready/
+ * valid handshakes resolve within a cycle regardless of tick order.
+ */
+
+#ifndef SIM_TICKABLE_HH
+#define SIM_TICKABLE_HH
+
+#include <string>
+
+#include "sim/types.hh"
+
+namespace siopmp {
+
+/**
+ * Base class for clocked components.
+ */
+class Tickable
+{
+  public:
+    explicit Tickable(std::string name) : name_(std::move(name)) {}
+    virtual ~Tickable() = default;
+
+    Tickable(const Tickable &) = delete;
+    Tickable &operator=(const Tickable &) = delete;
+
+    /**
+     * Phase 1: produce this cycle's outputs from last cycle's state.
+     * Components may enqueue into channels here.
+     */
+    virtual void evaluate(Cycle now) = 0;
+
+    /**
+     * Phase 2: consume channel inputs and commit state for the next
+     * cycle.
+     */
+    virtual void advance(Cycle now) = 0;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+};
+
+} // namespace siopmp
+
+#endif // SIM_TICKABLE_HH

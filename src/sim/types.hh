@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ */
+
+#ifndef SIM_TYPES_HH
+#define SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace siopmp {
+
+/** Physical (or device-visible) address. */
+using Addr = std::uint64_t;
+
+/** Simulation time measured in bus clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Source identifier used by the IOPMP to key permissions (SID). */
+using Sid = std::uint32_t;
+
+/** Full device identifier as carried on the bus (may exceed the SID space). */
+using DeviceId = std::uint64_t;
+
+/** Memory-domain index. */
+using MdIndex = std::uint32_t;
+
+/** Sentinel for "no address". */
+inline constexpr Addr kNoAddr = std::numeric_limits<Addr>::max();
+
+/** Sentinel for "no SID". */
+inline constexpr Sid kNoSid = std::numeric_limits<Sid>::max();
+
+/** Sentinel cycle value meaning "never". */
+inline constexpr Cycle kNever = std::numeric_limits<Cycle>::max();
+
+/** Access permission bits for an IOPMP entry or a DMA request. */
+enum class Perm : std::uint8_t {
+    None = 0x0,
+    Read = 0x1,
+    Write = 0x2,
+    ReadWrite = 0x3,
+};
+
+/** Bitwise helpers for Perm. */
+constexpr Perm
+operator|(Perm a, Perm b)
+{
+    return static_cast<Perm>(static_cast<std::uint8_t>(a) |
+                             static_cast<std::uint8_t>(b));
+}
+
+constexpr Perm
+operator&(Perm a, Perm b)
+{
+    return static_cast<Perm>(static_cast<std::uint8_t>(a) &
+                             static_cast<std::uint8_t>(b));
+}
+
+/** True iff @p have grants every bit required by @p need. */
+constexpr bool
+permits(Perm have, Perm need)
+{
+    return (static_cast<std::uint8_t>(have) &
+            static_cast<std::uint8_t>(need)) ==
+           static_cast<std::uint8_t>(need);
+}
+
+/** Human-readable name for a permission value. */
+constexpr const char *
+permName(Perm p)
+{
+    switch (p) {
+      case Perm::None: return "--";
+      case Perm::Read: return "r-";
+      case Perm::Write: return "-w";
+      case Perm::ReadWrite: return "rw";
+    }
+    return "??";
+}
+
+/** Round @p v down to a multiple of @p align (power of two). */
+constexpr Addr
+alignDown(Addr v, Addr align)
+{
+    return v & ~(align - 1);
+}
+
+/** Round @p v up to a multiple of @p align (power of two). */
+constexpr Addr
+alignUp(Addr v, Addr align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** True iff @p v is a power of two (and non-zero). */
+constexpr bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Integer ceil(log2(v)); log2Ceil(1) == 0. */
+constexpr unsigned
+log2Ceil(std::uint64_t v)
+{
+    unsigned bits = 0;
+    std::uint64_t x = 1;
+    while (x < v) {
+        x <<= 1;
+        ++bits;
+    }
+    return bits;
+}
+
+} // namespace siopmp
+
+#endif // SIM_TYPES_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Soc assembly implementation.
+ */
+
+#include "soc/soc.hh"
+
+#include "sim/logging.hh"
+
+namespace siopmp {
+namespace soc {
+
+Soc::Soc(const SocConfig &cfg)
+    : cfg_(cfg), mmio_(cfg.mmio_access_cost)
+{
+    SIOPMP_ASSERT(cfg.num_masters >= 1, "SoC needs at least one master");
+
+    iopmp_ = std::make_unique<iopmp::SIopmp>(
+        cfg.iopmp, cfg.checker_kind, cfg.checker_stages);
+
+    // Periphery bus: the sIOPMP register window.
+    mmio_.map("siopmp", {kIopmpMmioBase, iopmp::regmap::kWindowSize},
+              iopmp_.get());
+
+    // Default memory map: 1 GiB of DRAM, an MMIO hole, and a protected
+    // region for the extended IOPMP table.
+    memmap_.add({"dram", {0x8000'0000, 0x4000'0000}, mem::RegionKind::Dram});
+    memmap_.add({"iopmp-mmio", {kIopmpMmioBase, iopmp::regmap::kWindowSize},
+                 mem::RegionKind::Mmio});
+    memmap_.add({"ext-iopmp-table", {0x7000'0000, 0x10'0000},
+                 mem::RegionKind::Protected});
+
+    mem_link_ = std::make_unique<bus::Link>();
+
+    for (unsigned i = 0; i < cfg.num_masters; ++i)
+        master_links_.push_back(std::make_unique<bus::Link>());
+
+    if (cfg.centralized_checker) {
+        // master -> xbar -> checker -> memory
+        checked_links_.push_back(std::make_unique<bus::Link>());
+        error_links_.push_back(std::make_unique<bus::Link>());
+
+        std::vector<bus::Link *> uplinks;
+        for (auto &link : master_links_)
+            uplinks.push_back(link.get());
+        xbar_ = std::make_unique<bus::Xbar>("xbar", uplinks,
+                                            checked_links_[0].get());
+        checkers_.push_back(std::make_unique<iopmp::CheckerNode>(
+            "checker", checked_links_[0].get(), mem_link_.get(),
+            error_links_[0].get(), iopmp_.get(), &monitor_, cfg.policy));
+        error_nodes_.push_back(std::make_unique<bus::ErrorNode>(
+            "errnode", error_links_[0].get()));
+    } else {
+        // master -> checker -> xbar -> memory
+        std::vector<bus::Link *> uplinks;
+        for (unsigned i = 0; i < cfg.num_masters; ++i) {
+            checked_links_.push_back(std::make_unique<bus::Link>());
+            error_links_.push_back(std::make_unique<bus::Link>());
+            checkers_.push_back(std::make_unique<iopmp::CheckerNode>(
+                "checker" + std::to_string(i), master_links_[i].get(),
+                checked_links_[i].get(), error_links_[i].get(),
+                iopmp_.get(), &monitor_, cfg.policy));
+            error_nodes_.push_back(std::make_unique<bus::ErrorNode>(
+                "errnode" + std::to_string(i), error_links_[i].get()));
+            uplinks.push_back(checked_links_[i].get());
+        }
+        xbar_ = std::make_unique<bus::Xbar>("xbar", uplinks,
+                                            mem_link_.get());
+    }
+
+    mem_node_ = std::make_unique<mem::MemoryNode>(
+        "memory", mem_link_.get(), &backing_, cfg.mem_timing);
+
+    // Tick order: checkers, xbar, memory, error nodes. Devices are
+    // added by the caller. Order does not affect results (two-phase
+    // fifo discipline) but keeping it fixed aids debugging.
+    for (auto &checker : checkers_)
+        sim_.add(checker.get());
+    sim_.add(xbar_.get());
+    sim_.add(mem_node_.get());
+    for (auto &node : error_nodes_)
+        sim_.add(node.get());
+}
+
+bus::Link *
+Soc::masterLink(unsigned i)
+{
+    SIOPMP_ASSERT(i < master_links_.size(), "master port out of range");
+    return master_links_[i].get();
+}
+
+void
+Soc::setChecker(iopmp::CheckerKind kind, unsigned stages)
+{
+    iopmp_->setChecker(kind, stages);
+}
+
+void
+Soc::setPolicy(iopmp::ViolationPolicy policy)
+{
+    for (auto &checker : checkers_)
+        checker->setPolicy(policy);
+}
+
+void
+Soc::dumpStats(std::ostream &os)
+{
+    iopmp_->statsGroup().dump(os);
+    for (auto &checker : checkers_)
+        checker->statsGroup().dump(os);
+    xbar_->statsGroup().dump(os);
+    mem_node_->statsGroup().dump(os);
+}
+
+} // namespace soc
+} // namespace siopmp

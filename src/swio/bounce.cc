@@ -1,0 +1,30 @@
+/**
+ * @file
+ * BounceBuffer implementation.
+ */
+
+#include "swio/bounce.hh"
+
+namespace siopmp {
+namespace swio {
+
+Cycle
+BounceBuffer::transferCost(std::uint64_t bytes)
+{
+    ++transfers_;
+    bytes_copied_ += bytes;
+
+    Cycle cost = costs_.slot_management;
+    cost += static_cast<Cycle>(static_cast<double>(bytes) /
+                               costs_.copy_bytes_per_cycle);
+
+    // One hypervisor intervention per batch of packets.
+    if (++batch_fill_ >= costs_.batch_size) {
+        batch_fill_ = 0;
+        cost += costs_.hypervisor_exit;
+    }
+    return cost;
+}
+
+} // namespace swio
+} // namespace siopmp

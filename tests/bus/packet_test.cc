@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Unit tests for beat construction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bus/packet.hh"
+
+namespace siopmp {
+namespace bus {
+namespace {
+
+TEST(Packet, GetIsSingleBeatCoveringBurst)
+{
+    Beat b = makeGet(0x1000, 8, /*device=*/5, /*txn=*/7);
+    EXPECT_EQ(b.opcode, Opcode::Get);
+    EXPECT_TRUE(b.last);
+    EXPECT_EQ(b.num_beats, 8);
+    EXPECT_EQ(b.addr, 0x1000u);
+    EXPECT_EQ(b.device, 5u);
+    EXPECT_TRUE(isRequest(b.opcode));
+    EXPECT_FALSE(isWrite(b.opcode));
+    EXPECT_EQ(b.requiredPerm(), Perm::Read);
+}
+
+TEST(Packet, PutBeatsAdvanceAddressAndLast)
+{
+    Beat b0 = makePut(0x2000, 0, 4, 0x11, 1, 9);
+    Beat b3 = makePut(0x2000, 3, 4, 0x44, 1, 9);
+    EXPECT_EQ(b0.addr, 0x2000u);
+    EXPECT_EQ(b3.addr, 0x2000u + 3 * kBeatBytes);
+    EXPECT_FALSE(b0.last);
+    EXPECT_TRUE(b3.last);
+    EXPECT_EQ(b0.requiredPerm(), Perm::Write);
+    EXPECT_TRUE(isWrite(b0.opcode));
+}
+
+TEST(Packet, PartialStrobeSelectsPutPartial)
+{
+    Beat full = makePut(0, 0, 1, 0, 1, 1, 0xff);
+    Beat partial = makePut(0, 0, 1, 0, 1, 1, 0x0f);
+    EXPECT_EQ(full.opcode, Opcode::PutFullData);
+    EXPECT_EQ(partial.opcode, Opcode::PutPartialData);
+}
+
+TEST(Packet, AckDataEchoesRoutingFields)
+{
+    Beat req = makeGet(0x3000, 8, 2, 77);
+    req.route = 3;
+    Beat d = makeAckData(req, 5, 0xabcd);
+    EXPECT_EQ(d.opcode, Opcode::AccessAckData);
+    EXPECT_EQ(d.route, 3u);
+    EXPECT_EQ(d.txn, 77u);
+    EXPECT_EQ(d.device, 2u);
+    EXPECT_EQ(d.beat_idx, 5);
+    EXPECT_FALSE(d.last);
+    EXPECT_EQ(d.addr, 0x3000u + 5 * kBeatBytes);
+    Beat last = makeAckData(req, 7, 0);
+    EXPECT_TRUE(last.last);
+}
+
+TEST(Packet, AckIsSingleBeat)
+{
+    Beat req = makePut(0x4000, 3, 4, 0, 6, 11);
+    req.route = 1;
+    Beat ack = makeAck(req);
+    EXPECT_EQ(ack.opcode, Opcode::AccessAck);
+    EXPECT_TRUE(ack.last);
+    EXPECT_EQ(ack.num_beats, 1);
+    EXPECT_EQ(ack.route, 1u);
+    EXPECT_FALSE(ack.denied);
+}
+
+TEST(Packet, DeniedTerminatesBurst)
+{
+    Beat get = makeGet(0x5000, 8, 4, 13);
+    Beat denied = makeDenied(get);
+    EXPECT_TRUE(denied.denied);
+    EXPECT_TRUE(denied.last);
+    EXPECT_EQ(denied.opcode, Opcode::AccessAckData);
+
+    Beat put = makePut(0x5000, 0, 8, 0, 4, 14);
+    Beat denied_w = makeDenied(put);
+    EXPECT_EQ(denied_w.opcode, Opcode::AccessAck);
+}
+
+TEST(Packet, ToStringMentionsOpcode)
+{
+    Beat b = makeGet(0x10, 8, 1, 1);
+    EXPECT_NE(b.toString().find("Get"), std::string::npos);
+}
+
+} // namespace
+} // namespace bus
+} // namespace siopmp

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Unit tests for the capability space: derivation, transfer,
+ * revocation and ownership-chain validation (§5.4, Fig 9).
+ */
+
+#include <gtest/gtest.h>
+
+#include "fw/cap_space.hh"
+
+namespace siopmp {
+namespace fw {
+namespace {
+
+TEST(CapSpace, MintAndGet)
+{
+    CapSpace caps;
+    CapId mem = caps.mintMemory({0x8000'0000, 0x1000'0000});
+    CapId dev = caps.mintDevice(7);
+    CapId irq = caps.mintInterrupt(3);
+    EXPECT_NE(mem, kNoCap);
+    EXPECT_NE(dev, kNoCap);
+    EXPECT_NE(irq, kNoCap);
+
+    auto c = caps.get(mem);
+    ASSERT_TRUE(c.has_value());
+    EXPECT_EQ(c->kind, CapKind::Memory);
+    EXPECT_EQ(c->owner, kMonitorOwner);
+    EXPECT_EQ(caps.get(dev)->device, 7u);
+    EXPECT_EQ(caps.get(irq)->irq_line, 3u);
+}
+
+TEST(CapSpace, DeriveNarrowsRange)
+{
+    CapSpace caps;
+    CapId root = caps.mintMemory({0x8000'0000, 0x1000'0000});
+    CapId child = caps.deriveMemory(root, {0x8100'0000, 0x1000},
+                                    CapRights::Read | CapRights::Map);
+    ASSERT_NE(child, kNoCap);
+    auto c = caps.get(child);
+    EXPECT_EQ(c->parent, root);
+    EXPECT_EQ(c->range.base, 0x8100'0000u);
+    // Cannot derive outside the parent.
+    EXPECT_EQ(caps.deriveMemory(root, {0x9000'0000, 0x1000'0001},
+                                CapRights::Read),
+              kNoCap);
+    EXPECT_EQ(caps.deriveMemory(root, {0x7fff'ffff, 0x10},
+                                CapRights::Read),
+              kNoCap);
+}
+
+TEST(CapSpace, DeriveCannotAmplifyRights)
+{
+    CapSpace caps;
+    CapId root = caps.mintMemory({0x8000'0000, 0x1000},
+                                 CapRights::Read | CapRights::Grant);
+    // Write is not in the parent: derivation must fail.
+    EXPECT_EQ(caps.deriveMemory(root, {0x8000'0000, 0x100},
+                                CapRights::Write),
+              kNoCap);
+    // Subset works.
+    EXPECT_NE(caps.deriveMemory(root, {0x8000'0000, 0x100},
+                                CapRights::Read),
+              kNoCap);
+}
+
+TEST(CapSpace, DeriveRequiresGrant)
+{
+    CapSpace caps;
+    CapId root = caps.mintMemory({0x8000'0000, 0x1000}, CapRights::Read);
+    EXPECT_EQ(caps.deriveMemory(root, {0x8000'0000, 0x100},
+                                CapRights::Read),
+              kNoCap);
+}
+
+TEST(CapSpace, TransferMovesOwnership)
+{
+    CapSpace caps;
+    CapId cap = caps.mintDevice(1);
+    EXPECT_TRUE(caps.transfer(cap, kMonitorOwner, 5));
+    EXPECT_EQ(caps.get(cap)->owner, 5u);
+    // Old owner can no longer transfer.
+    EXPECT_FALSE(caps.transfer(cap, kMonitorOwner, 6));
+    // New owner can.
+    EXPECT_TRUE(caps.transfer(cap, 5, 6));
+}
+
+TEST(CapSpace, RevokeCascadesThroughChain)
+{
+    CapSpace caps;
+    CapId root = caps.mintMemory({0x8000'0000, 0x1000'0000});
+    CapId child = caps.deriveMemory(root, {0x8000'0000, 0x1000},
+                                    CapRights::Full);
+    CapId grandchild = caps.deriveMemory(child, {0x8000'0000, 0x100},
+                                         CapRights::Read);
+    ASSERT_NE(grandchild, kNoCap);
+
+    EXPECT_TRUE(caps.revoke(child));
+    EXPECT_TRUE(caps.get(root).has_value());
+    EXPECT_FALSE(caps.get(child).has_value());
+    EXPECT_FALSE(caps.get(grandchild).has_value());
+    EXPECT_FALSE(caps.revoke(child)); // already revoked
+}
+
+TEST(CapSpace, RevokedCapUnusable)
+{
+    CapSpace caps;
+    CapId cap = caps.mintMemory({0x8000'0000, 0x1000});
+    caps.revoke(cap);
+    EXPECT_FALSE(caps.transfer(cap, kMonitorOwner, 3));
+    EXPECT_EQ(caps.deriveMemory(cap, {0x8000'0000, 0x10},
+                                CapRights::Read),
+              kNoCap);
+    EXPECT_FALSE(caps.owns(cap, kMonitorOwner, CapRights::Read));
+}
+
+TEST(CapSpace, FindMemoryCapMatchesOwnerRangeRights)
+{
+    CapSpace caps;
+    CapId root = caps.mintMemory({0x8000'0000, 0x1000'0000});
+    CapId child = caps.deriveMemory(root, {0x8100'0000, 0x10000},
+                                    CapRights::Full);
+    caps.transfer(child, kMonitorOwner, 9);
+
+    auto found = caps.findMemoryCap(9, 0x8100'1000, 0x100,
+                                    CapRights::Map);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(*found, child);
+
+    EXPECT_FALSE(caps.findMemoryCap(8, 0x8100'1000, 0x100,
+                                    CapRights::Map));
+    EXPECT_FALSE(caps.findMemoryCap(9, 0x8200'0000, 0x100,
+                                    CapRights::Map));
+}
+
+TEST(CapSpace, FindDeviceCap)
+{
+    CapSpace caps;
+    CapId dev = caps.mintDevice(42);
+    caps.transfer(dev, kMonitorOwner, 3);
+    EXPECT_TRUE(caps.findDeviceCap(3, 42).has_value());
+    EXPECT_FALSE(caps.findDeviceCap(3, 43).has_value());
+    EXPECT_FALSE(caps.findDeviceCap(4, 42).has_value());
+}
+
+TEST(CapSpace, DeriveDeviceReducedRights)
+{
+    CapSpace caps;
+    CapId root = caps.mintDevice(1);
+    CapId ro = caps.deriveDevice(root, CapRights::Read);
+    ASSERT_NE(ro, kNoCap);
+    EXPECT_EQ(caps.get(ro)->device, 1u);
+    EXPECT_FALSE(hasRights(caps.get(ro)->rights, CapRights::Map));
+}
+
+TEST(CapSpace, ShareReadOnlyGivesCopyKeepsOwnership)
+{
+    CapSpace caps;
+    CapId original = caps.mintMemory({0x8000'0000, 0x1000});
+    CapId copy = caps.shareReadOnly(original, kMonitorOwner, 9);
+    ASSERT_NE(copy, kNoCap);
+
+    // Original unchanged; copy is read-only and owned by 9.
+    EXPECT_EQ(caps.get(original)->owner, kMonitorOwner);
+    auto c = caps.get(copy);
+    EXPECT_EQ(c->owner, 9u);
+    EXPECT_TRUE(hasRights(c->rights, CapRights::Read));
+    EXPECT_FALSE(hasRights(c->rights, CapRights::Write));
+    EXPECT_FALSE(hasRights(c->rights, CapRights::Map));
+
+    // The copy cannot be transferred or derived further (no Grant).
+    EXPECT_FALSE(caps.transfer(copy, 9, 10));
+    EXPECT_EQ(caps.deriveMemory(copy, {0x8000'0000, 0x10},
+                                CapRights::Read),
+              kNoCap);
+}
+
+TEST(CapSpace, ShareReadOnlyRequiresOwnership)
+{
+    CapSpace caps;
+    CapId original = caps.mintMemory({0x8000'0000, 0x1000});
+    EXPECT_EQ(caps.shareReadOnly(original, /*wrong owner=*/7, 9), kNoCap);
+}
+
+TEST(CapSpace, RevokingOriginalRevokesCopies)
+{
+    CapSpace caps;
+    CapId original = caps.mintMemory({0x8000'0000, 0x1000});
+    CapId copy = caps.shareReadOnly(original, kMonitorOwner, 9);
+    caps.revoke(original);
+    EXPECT_FALSE(caps.get(copy).has_value());
+}
+
+TEST(CapSpace, LiveCountTracksRevocation)
+{
+    CapSpace caps;
+    CapId a = caps.mintDevice(1);
+    caps.mintDevice(2);
+    EXPECT_EQ(caps.liveCount(), 2u);
+    caps.revoke(a);
+    EXPECT_EQ(caps.liveCount(), 1u);
+}
+
+} // namespace
+} // namespace fw
+} // namespace siopmp

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Unit tests for the CPU-side PMP model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fw/pmp.hh"
+
+namespace siopmp {
+namespace fw {
+namespace {
+
+TEST(Pmp, DefaultDenyForSupervisorAllowForMachine)
+{
+    Pmp pmp;
+    EXPECT_FALSE(pmp.check(0x8000'0000, 8, Perm::Read, PrivMode::S));
+    EXPECT_FALSE(pmp.check(0x8000'0000, 8, Perm::Read, PrivMode::U));
+    EXPECT_TRUE(pmp.check(0x8000'0000, 8, Perm::Read, PrivMode::M));
+}
+
+TEST(Pmp, EntryGrantsAccess)
+{
+    Pmp pmp;
+    pmp.set(0, 0x8000'0000, 0x1000, /*r=*/true, /*w=*/false, false);
+    EXPECT_TRUE(pmp.check(0x8000'0000, 8, Perm::Read, PrivMode::S));
+    EXPECT_FALSE(pmp.check(0x8000'0000, 8, Perm::Write, PrivMode::S));
+    EXPECT_FALSE(pmp.check(0x8000'1000, 8, Perm::Read, PrivMode::S));
+}
+
+TEST(Pmp, ProtectedRegionDeniesSupervisor)
+{
+    // The extended-IOPMP-table use case: M-mode only.
+    Pmp pmp;
+    pmp.set(0, 0x7000'0000, 0x10000, false, false, false);
+    EXPECT_FALSE(pmp.check(0x7000'0100, 8, Perm::Read, PrivMode::S));
+    EXPECT_FALSE(pmp.check(0x7000'0100, 8, Perm::Write, PrivMode::S));
+    // Unlocked entries do not bind M-mode.
+    EXPECT_TRUE(pmp.check(0x7000'0100, 8, Perm::Write, PrivMode::M));
+}
+
+TEST(Pmp, LockedEntryBindsMachineMode)
+{
+    Pmp pmp;
+    pmp.set(0, 0x7000'0000, 0x1000, true, false, false, /*lock=*/true);
+    EXPECT_TRUE(pmp.check(0x7000'0000, 8, Perm::Read, PrivMode::M));
+    EXPECT_FALSE(pmp.check(0x7000'0000, 8, Perm::Write, PrivMode::M));
+}
+
+TEST(Pmp, LockedEntryCannotBeRewritten)
+{
+    Pmp pmp;
+    pmp.set(0, 0x7000'0000, 0x1000, true, true, false, /*lock=*/true);
+    EXPECT_FALSE(pmp.set(0, 0x0, 0x1000, true, true, true));
+    EXPECT_FALSE(pmp.clear(0));
+    EXPECT_EQ(pmp.entry(0).base, 0x7000'0000u);
+}
+
+TEST(Pmp, PriorityLowestIndexWins)
+{
+    Pmp pmp;
+    // Entry 0 denies a sub-range that entry 1 would allow.
+    pmp.set(0, 0x8000'0000, 0x100, false, false, false);
+    pmp.set(1, 0x8000'0000, 0x10000, true, true, false);
+    EXPECT_FALSE(pmp.check(0x8000'0000, 8, Perm::Read, PrivMode::S));
+    EXPECT_TRUE(pmp.check(0x8000'0100, 8, Perm::Read, PrivMode::S));
+}
+
+TEST(Pmp, PartialContainmentDenied)
+{
+    Pmp pmp;
+    pmp.set(0, 0x8000'0000, 0x100, true, true, false);
+    EXPECT_FALSE(pmp.check(0x8000'00f8, 16, Perm::Read, PrivMode::S));
+}
+
+TEST(Pmp, ClearRestoresDefault)
+{
+    Pmp pmp;
+    pmp.set(0, 0x8000'0000, 0x100, true, false, false);
+    EXPECT_TRUE(pmp.clear(0));
+    EXPECT_FALSE(pmp.check(0x8000'0000, 8, Perm::Read, PrivMode::S));
+}
+
+} // namespace
+} // namespace fw
+} // namespace siopmp

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Integration tests for the IOMMU model: the dma_map/translate/
+ * dma_unmap lifecycle, strict-vs-deferred semantics and the deferred
+ * attack window the paper's Table 1 calls out.
+ */
+
+#include <gtest/gtest.h>
+
+#include "iommu/iommu.hh"
+
+namespace siopmp {
+namespace iommu {
+namespace {
+
+IommuConfig
+config(UnmapMode mode)
+{
+    IommuConfig cfg;
+    cfg.mode = mode;
+    cfg.deferred_batch = 4;
+    return cfg;
+}
+
+TEST(Iommu, MapTranslateUnmap)
+{
+    Iommu mmu(config(UnmapMode::Strict));
+    auto map = mmu.dmaMap(0x8000'0000, 1, Perm::ReadWrite, 0, 1, 0);
+    ASSERT_NE(map.iova, kNoAddr);
+    EXPECT_GT(map.cost, 0u);
+
+    auto t = mmu.translate(map.iova, Perm::Read, 0);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(t->paddr, 0x8000'0000u);
+
+    mmu.dmaUnmap(map.iova, 1, 0, 0);
+    EXPECT_FALSE(mmu.translate(map.iova, Perm::Read, 0).has_value());
+}
+
+TEST(Iommu, PermissionEnforced)
+{
+    Iommu mmu(config(UnmapMode::Strict));
+    auto map = mmu.dmaMap(0x8000'0000, 1, Perm::Read, 0, 1, 0);
+    EXPECT_TRUE(mmu.translate(map.iova, Perm::Read, 0).has_value());
+    EXPECT_FALSE(mmu.translate(map.iova, Perm::Write, 0).has_value());
+}
+
+TEST(Iommu, TranslateFaultOnUnmapped)
+{
+    Iommu mmu(config(UnmapMode::Strict));
+    EXPECT_FALSE(mmu.translate(0x7777'0000, Perm::Read, 0).has_value());
+    EXPECT_GT(mmu.statsGroup().scalar("faults").value(), 0.0);
+}
+
+TEST(Iommu, IotlbCachesTranslations)
+{
+    Iommu mmu(config(UnmapMode::Strict));
+    auto map = mmu.dmaMap(0x8000'0000, 1, Perm::Read, 0, 1, 0);
+    Cycle cost1 = 0, cost2 = 0;
+    mmu.translate(map.iova, Perm::Read, 0, &cost1);
+    mmu.translate(map.iova, Perm::Read, 0, &cost2);
+    EXPECT_GT(cost1, 0u);  // miss: page walk
+    EXPECT_EQ(cost2, 0u);  // hit: free
+}
+
+TEST(Iommu, StrictUnmapExpensive)
+{
+    Iommu mmu(config(UnmapMode::Strict));
+    auto map = mmu.dmaMap(0x8000'0000, 1, Perm::Read, 0, 1, 0);
+    Cycle wait = 0;
+    const Cycle cost = mmu.dmaUnmap(map.iova, 1, 0, 0, &wait);
+    // Strict: full synchronous invalidation wait.
+    EXPECT_GT(cost, 400u);
+    EXPECT_GT(wait, 0u);
+    EXPECT_FALSE(mmu.attackWindowOpen());
+}
+
+TEST(Iommu, DeferredUnmapCheapButWindowOpen)
+{
+    Iommu mmu(config(UnmapMode::Deferred));
+    auto map = mmu.dmaMap(0x8000'0000, 1, Perm::Read, 0, 1, 0);
+    // Prime the IOTLB so the stale entry demonstrably lingers.
+    mmu.translate(map.iova, Perm::Read, 0);
+
+    const Cycle cost = mmu.dmaUnmap(map.iova, 1, 0, 0);
+    EXPECT_LT(cost, 100u);
+    EXPECT_TRUE(mmu.attackWindowOpen());
+
+    // THE ATTACK WINDOW: the page table says unmapped, but the IOTLB
+    // still translates — a malicious device can reach the stale page.
+    EXPECT_TRUE(mmu.iotlb().lookup(map.iova).has_value());
+}
+
+TEST(Iommu, DeferredBatchFlushClosesWindow)
+{
+    auto cfg = config(UnmapMode::Deferred);
+    Iommu mmu(cfg);
+    std::vector<Addr> iovas;
+    for (unsigned i = 0; i < cfg.deferred_batch; ++i) {
+        auto map = mmu.dmaMap(0x8000'0000 + i * kPageSize, 1, Perm::Read,
+                              0, 1, 0);
+        iovas.push_back(map.iova);
+    }
+    for (unsigned i = 0; i + 1 < iovas.size(); ++i)
+        mmu.dmaUnmap(iovas[i], 1, 0, 0);
+    EXPECT_TRUE(mmu.attackWindowOpen());
+    // The batch-th unmap triggers the global flush.
+    mmu.dmaUnmap(iovas.back(), 1, 0, 0);
+    EXPECT_FALSE(mmu.attackWindowOpen());
+    EXPECT_EQ(mmu.iotlb().population(), 0u);
+}
+
+TEST(Iommu, StrictCostExceedsDeferred)
+{
+    Iommu strict(config(UnmapMode::Strict));
+    Iommu deferred(config(UnmapMode::Deferred));
+    auto ms = strict.dmaMap(0x8000'0000, 1, Perm::Read, 0, 1, 0);
+    auto md = deferred.dmaMap(0x8000'0000, 1, Perm::Read, 0, 1, 0);
+    EXPECT_GT(strict.dmaUnmap(ms.iova, 1, 0, 0),
+              5 * deferred.dmaUnmap(md.iova, 1, 0, 0));
+}
+
+TEST(Iommu, MultiPageMap)
+{
+    Iommu mmu(config(UnmapMode::Strict));
+    auto map = mmu.dmaMap(0x8000'0000, 4, Perm::ReadWrite, 0, 1, 0);
+    ASSERT_NE(map.iova, kNoAddr);
+    for (unsigned p = 0; p < 4; ++p) {
+        auto t = mmu.translate(map.iova + p * kPageSize, Perm::Read, 0);
+        ASSERT_TRUE(t.has_value()) << p;
+        EXPECT_EQ(t->paddr, 0x8000'0000 + p * kPageSize);
+    }
+}
+
+TEST(Iommu, IovaReuseOnlyAfterStrictUnmap)
+{
+    Iommu mmu(config(UnmapMode::Strict));
+    auto a = mmu.dmaMap(0x8000'0000, 1, Perm::Read, 0, 1, 0);
+    mmu.dmaUnmap(a.iova, 1, 0, 0);
+    auto b = mmu.dmaMap(0x9000'0000, 1, Perm::Read, 0, 1, 0);
+    EXPECT_EQ(b.iova, a.iova); // recycled through the magazine
+    auto t = mmu.translate(b.iova, Perm::Read, 0);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(t->paddr, 0x9000'0000u); // and points at the new page
+}
+
+} // namespace
+} // namespace iommu
+} // namespace siopmp

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Unit tests for the set-associative IOTLB.
+ */
+
+#include <gtest/gtest.h>
+
+#include "iommu/iotlb.hh"
+
+namespace siopmp {
+namespace iommu {
+namespace {
+
+TEST(Iotlb, MissThenHit)
+{
+    Iotlb tlb(4, 2);
+    EXPECT_FALSE(tlb.lookup(0x10'0000).has_value());
+    tlb.insert(0x10'0000, {0x8000'0000, Perm::Read});
+    auto t = tlb.lookup(0x10'0000);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(t->paddr, 0x8000'0000u);
+    EXPECT_EQ(tlb.hits(), 1u);
+    EXPECT_EQ(tlb.misses(), 1u);
+}
+
+TEST(Iotlb, InvalidatePage)
+{
+    Iotlb tlb(4, 2);
+    tlb.insert(0x10'0000, {0x8000'0000, Perm::Read});
+    EXPECT_TRUE(tlb.invalidatePage(0x10'0000));
+    EXPECT_FALSE(tlb.invalidatePage(0x10'0000));
+    EXPECT_FALSE(tlb.lookup(0x10'0000).has_value());
+}
+
+TEST(Iotlb, InvalidateAll)
+{
+    Iotlb tlb(4, 2);
+    for (Addr p = 0; p < 8; ++p)
+        tlb.insert(p * kPageSize, {0x8000'0000 + p * kPageSize,
+                                   Perm::ReadWrite});
+    EXPECT_GT(tlb.population(), 0u);
+    tlb.invalidateAll();
+    EXPECT_EQ(tlb.population(), 0u);
+}
+
+TEST(Iotlb, LruEvictionWithinSet)
+{
+    // 1 set, 2 ways: third insert evicts the least recently used.
+    Iotlb tlb(1, 2);
+    tlb.insert(0 * kPageSize, {0x1000, Perm::Read});
+    tlb.insert(1 * kPageSize, {0x2000, Perm::Read});
+    // Touch page 0 so page 1 becomes LRU.
+    EXPECT_TRUE(tlb.lookup(0).has_value());
+    tlb.insert(2 * kPageSize, {0x3000, Perm::Read});
+    EXPECT_TRUE(tlb.lookup(0).has_value());
+    EXPECT_FALSE(tlb.lookup(1 * kPageSize).has_value());
+    EXPECT_TRUE(tlb.lookup(2 * kPageSize).has_value());
+}
+
+TEST(Iotlb, ReinsertRefreshesExistingEntry)
+{
+    Iotlb tlb(1, 2);
+    tlb.insert(0, {0x1000, Perm::Read});
+    tlb.insert(0, {0x5000, Perm::Write}); // refresh, not second way
+    tlb.insert(1 * kPageSize, {0x2000, Perm::Read});
+    EXPECT_EQ(tlb.population(), 2u);
+    auto t = tlb.lookup(0);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(t->paddr, 0x5000u);
+}
+
+TEST(Iotlb, SetIndexingSeparatesPages)
+{
+    Iotlb tlb(4, 1);
+    // Pages 0..3 land in different sets: all fit despite 1 way.
+    for (Addr p = 0; p < 4; ++p)
+        tlb.insert(p * kPageSize, {0x1000 * p, Perm::Read});
+    EXPECT_EQ(tlb.population(), 4u);
+}
+
+TEST(IotlbDeath, RejectsNonPowerOfTwoSets)
+{
+    EXPECT_DEATH(Iotlb(3, 2), "shape");
+}
+
+} // namespace
+} // namespace iommu
+} // namespace siopmp

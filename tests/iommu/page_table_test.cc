@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Unit tests for the two-level IO page table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "iommu/page_table.hh"
+
+namespace siopmp {
+namespace iommu {
+namespace {
+
+TEST(IoPageTable, MapWalkUnmap)
+{
+    IoPageTable pt;
+    EXPECT_TRUE(pt.map(0x10'0000, 0x8000'0000, Perm::ReadWrite));
+    auto t = pt.walk(0x10'0000);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(t->paddr, 0x8000'0000u);
+    EXPECT_EQ(t->perm, Perm::ReadWrite);
+    EXPECT_TRUE(pt.unmap(0x10'0000));
+    EXPECT_FALSE(pt.walk(0x10'0000).has_value());
+}
+
+TEST(IoPageTable, RejectsUnalignedAddresses)
+{
+    IoPageTable pt;
+    EXPECT_FALSE(pt.map(0x10'0004, 0x8000'0000, Perm::Read));
+    EXPECT_FALSE(pt.map(0x10'0000, 0x8000'0100, Perm::Read));
+    EXPECT_EQ(pt.numMappings(), 0u);
+}
+
+TEST(IoPageTable, WalkLevelCount)
+{
+    IoPageTable pt;
+    unsigned levels = 0;
+    // First-level miss: only one level touched.
+    EXPECT_FALSE(pt.walk(0x7000'0000, &levels).has_value());
+    EXPECT_EQ(levels, 1u);
+
+    pt.map(0x10'0000, 0x8000'0000, Perm::Read);
+    // Hit: two levels.
+    EXPECT_TRUE(pt.walk(0x10'0000, &levels).has_value());
+    EXPECT_EQ(levels, 2u);
+    // Same leaf, different page: leaf-level miss still walks 2 levels.
+    EXPECT_FALSE(pt.walk(0x10'1000, &levels).has_value());
+    EXPECT_EQ(levels, 2u);
+}
+
+TEST(IoPageTable, RemapOverwrites)
+{
+    IoPageTable pt;
+    pt.map(0x20'0000, 0x8000'0000, Perm::Read);
+    pt.map(0x20'0000, 0x9000'0000, Perm::Write);
+    auto t = pt.walk(0x20'0000);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(t->paddr, 0x9000'0000u);
+    EXPECT_EQ(t->perm, Perm::Write);
+    EXPECT_EQ(pt.numMappings(), 1u);
+}
+
+TEST(IoPageTable, UnmapMissReturnsFalse)
+{
+    IoPageTable pt;
+    EXPECT_FALSE(pt.unmap(0x30'0000));
+    pt.map(0x30'0000, 0x8000'0000, Perm::Read);
+    EXPECT_FALSE(pt.unmap(0x30'1000)); // neighbour page not mapped
+    EXPECT_EQ(pt.numMappings(), 1u);
+}
+
+TEST(IoPageTable, ManyMappingsAcrossLeaves)
+{
+    IoPageTable pt;
+    const unsigned n = 1500; // spans multiple L1 entries (512 per leaf)
+    for (unsigned i = 0; i < n; ++i) {
+        ASSERT_TRUE(pt.map(0x10'0000 + static_cast<Addr>(i) * kPageSize,
+                           0x8000'0000 + static_cast<Addr>(i) * kPageSize,
+                           Perm::ReadWrite));
+    }
+    EXPECT_EQ(pt.numMappings(), n);
+    for (unsigned i = 0; i < n; ++i) {
+        auto t = pt.walk(0x10'0000 + static_cast<Addr>(i) * kPageSize);
+        ASSERT_TRUE(t.has_value()) << i;
+        EXPECT_EQ(t->paddr,
+                  0x8000'0000 + static_cast<Addr>(i) * kPageSize);
+    }
+}
+
+} // namespace
+} // namespace iommu
+} // namespace siopmp

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Unit tests for the SID block bitmap.
+ */
+
+#include <gtest/gtest.h>
+
+#include "iopmp/block.hh"
+
+namespace siopmp {
+namespace iopmp {
+namespace {
+
+TEST(BlockBitmap, StartsClear)
+{
+    SidBlockBitmap b(64);
+    for (Sid sid = 0; sid < 64; ++sid)
+        EXPECT_FALSE(b.blocked(sid));
+    EXPECT_EQ(b.raw(), 0u);
+}
+
+TEST(BlockBitmap, BlockUnblockPerSid)
+{
+    SidBlockBitmap b(64);
+    b.block(5);
+    EXPECT_TRUE(b.blocked(5));
+    EXPECT_FALSE(b.blocked(4));
+    EXPECT_FALSE(b.blocked(6));
+    b.unblock(5);
+    EXPECT_FALSE(b.blocked(5));
+}
+
+TEST(BlockBitmap, PerSidIndependence)
+{
+    // The paper's point: blocking one SID must not affect others.
+    SidBlockBitmap b(64);
+    b.block(0);
+    b.block(62);
+    for (Sid sid = 1; sid < 62; ++sid)
+        EXPECT_FALSE(b.blocked(sid));
+    b.unblock(0);
+    EXPECT_TRUE(b.blocked(62));
+}
+
+TEST(BlockBitmap, BlockAllAndUnblockAll)
+{
+    SidBlockBitmap b(64);
+    b.blockAll();
+    for (Sid sid = 0; sid < 64; ++sid)
+        EXPECT_TRUE(b.blocked(sid));
+    b.unblockAll();
+    EXPECT_EQ(b.raw(), 0u);
+}
+
+TEST(BlockBitmap, SmallWidthBlockAll)
+{
+    SidBlockBitmap b(8);
+    b.blockAll();
+    EXPECT_EQ(b.raw(), 0xffu);
+    EXPECT_FALSE(b.blocked(9)); // out of range reads as unblocked
+}
+
+TEST(BlockBitmap, RawMirrorsBits)
+{
+    SidBlockBitmap b(64);
+    b.block(0);
+    b.block(3);
+    EXPECT_EQ(b.raw(), 0b1001u);
+}
+
+TEST(BlockBitmapDeath, OutOfRangeBlockAsserts)
+{
+    SidBlockBitmap b(8);
+    EXPECT_DEATH(b.block(8), "range");
+}
+
+} // namespace
+} // namespace iopmp
+} // namespace siopmp

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Focused tests for the bus-facing CheckerNode: SID-missing stalls
+ * with edge-triggered interrupts, per-SID block stalls, block-state
+ * monitor bookkeeping and divert-latch behaviour for denied write
+ * bursts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "devices/dma_engine.hh"
+#include "fw/monitor.hh"
+#include "soc/cpu_node.hh"
+#include "soc/soc.hh"
+
+namespace siopmp {
+namespace iopmp {
+namespace {
+
+class CheckerNodeTest : public ::testing::Test
+{
+  protected:
+    CheckerNodeTest() : soc(cfg()), engine("dma0", 1, soc.masterLink(0))
+    {
+        soc.add(&engine);
+        auto &unit = soc.iopmp();
+        unit.cam().set(0, 1);
+        unit.src2md().associate(0, 0);
+        for (MdIndex md = 0; md < unit.config().num_mds; ++md)
+            unit.mdcfg().setTop(md, 16);
+        unit.entryTable().set(
+            0, Entry::range(0x8000'0000, 0x0100'0000, Perm::ReadWrite));
+        unit.setIrqHandler([this](const Irq &irq) { irqs.push_back(irq); });
+    }
+
+    static soc::SocConfig
+    cfg()
+    {
+        soc::SocConfig c;
+        c.num_masters = 2; // port 1 hosts the "ghost" cold device
+        c.checker_kind = CheckerKind::PipelineTree;
+        c.checker_stages = 2;
+        return c;
+    }
+
+    soc::Soc soc;
+    dev::DmaEngine engine;
+    std::vector<Irq> irqs;
+};
+
+TEST_F(CheckerNodeTest, SidMissInterruptIsEdgeTriggered)
+{
+    dev::DmaEngine ghost("ghost", 999, soc.masterLink(1));
+    soc.add(&ghost);
+    dev::DmaJob job;
+    job.kind = dev::DmaKind::Read;
+    job.src = 0x8000'0000;
+    job.bytes = 64;
+    ghost.start(job, 0);
+    soc.sim().run(5'000);
+
+    // The request stalls forever, but the interrupt fired once, not
+    // once per polling cycle.
+    EXPECT_FALSE(ghost.done());
+    unsigned misses = 0;
+    for (const auto &irq : irqs)
+        misses += irq.kind == IrqKind::SidMissing;
+    EXPECT_EQ(misses, 1u);
+}
+
+TEST_F(CheckerNodeTest, StalledRequestProceedsAfterMount)
+{
+    dev::DmaEngine ghost("ghost", 999, soc.masterLink(1));
+    soc.add(&ghost);
+    dev::DmaJob job;
+    job.kind = dev::DmaKind::Read;
+    job.src = 0x8000'0000;
+    job.bytes = 64;
+    ghost.start(job, 0);
+    soc.sim().run(1'000);
+    ASSERT_FALSE(ghost.done());
+
+    // "Monitor" mounts the device: eSID register + cold row rules.
+    auto &unit = soc.iopmp();
+    unit.setMountedCold(999);
+    unit.src2md().setBitmap(unit.coldSid(),
+                            std::uint64_t{1} << 62);
+    unit.mdcfg().setTop(62, 17); // cold MD owns entry 16
+    unit.entryTable().set(
+        16, Entry::range(0x8000'0000, 0x0100'0000, Perm::ReadWrite));
+
+    soc.sim().runUntil([&] { return ghost.done(); }, 100'000);
+    EXPECT_TRUE(ghost.done());
+    EXPECT_EQ(ghost.bytesTransferred(), 64u);
+}
+
+TEST_F(CheckerNodeTest, BlockedSidStallsWithoutLosingBeats)
+{
+    soc.iopmp().blockBitmap().block(0);
+    dev::DmaJob job;
+    job.kind = dev::DmaKind::Read;
+    job.src = 0x8000'0000;
+    job.bytes = 128;
+    engine.start(job, 0);
+    soc.sim().run(3'000);
+    EXPECT_FALSE(engine.done());
+    EXPECT_EQ(engine.bytesTransferred(), 0u);
+
+    soc.iopmp().blockBitmap().unblock(0);
+    soc.sim().runUntil([&] { return engine.done(); }, 100'000);
+    EXPECT_EQ(engine.bytesTransferred(), 128u);
+}
+
+TEST_F(CheckerNodeTest, BusMonitorBalancesStartsAndEnds)
+{
+    dev::DmaJob job;
+    job.kind = dev::DmaKind::Read;
+    job.src = 0x8000'0000;
+    job.bytes = 64 * 10;
+    job.max_outstanding = 4;
+    engine.start(job, 0);
+    soc.sim().runUntil([&] { return engine.done(); }, 100'000);
+    soc.sim().run(50); // drain the response path
+
+    EXPECT_TRUE(soc.monitor().quiesced(1));
+    EXPECT_EQ(soc.monitor().totalStarted(),
+              soc.monitor().totalCompleted());
+    EXPECT_EQ(soc.monitor().totalStarted(), 10u);
+}
+
+TEST_F(CheckerNodeTest, DeniedWriteBurstFullyDiverted)
+{
+    // Every beat of a denied write burst must reach the error node,
+    // not memory — even the beats whose own addresses would be legal
+    // after the burst crossed back into the granted window.
+    soc.memory().write64(0x9000'0000, 0xaa);
+    dev::DmaJob job;
+    job.kind = dev::DmaKind::Write;
+    job.dst = 0x9000'0000;
+    job.bytes = 64;
+    engine.start(job, 0);
+    soc.sim().runUntil([&] { return engine.done(); }, 100'000);
+    EXPECT_EQ(engine.deniedResponses(), 1u);
+    for (Addr off = 0; off < 64; off += 8)
+        EXPECT_EQ(soc.memory().read64(0x9000'0000 + off), off ? 0u : 0xaau);
+}
+
+TEST_F(CheckerNodeTest, ViolationCountsInStats)
+{
+    dev::DmaJob job;
+    job.kind = dev::DmaKind::Read;
+    job.src = 0x9000'0000;
+    job.bytes = 64 * 3;
+    engine.start(job, 0);
+    soc.sim().runUntil([&] { return engine.done(); }, 100'000);
+    EXPECT_EQ(soc.iopmp().statsGroup().scalar("denies").value(), 3.0);
+}
+
+TEST_F(CheckerNodeTest, LiveViolationInterruptReachesMonitor)
+{
+    // Full loop: device violates -> checker denies -> interrupt ->
+    // CpuNode services -> monitor reads and acknowledges the error
+    // record, all inside the running simulation.
+    iopmp::ExtendedTable ext(&soc.memory(), {0x7000'0000, 0x1000});
+    fw::SecureMonitor monitor(&soc.iopmp(), &soc.mmio(),
+                              soc::kIopmpMmioBase, &ext, &soc.monitor());
+    // Note: the monitor's init() would re-partition the tables the
+    // fixture already configured; for this test only the interrupt
+    // path matters, so skip init and keep the fixture's rules.
+    soc::CpuNode cpu("cpu0", &monitor, &soc.iopmp(), &soc.sim());
+    soc.add(&cpu);
+
+    dev::DmaJob job;
+    job.kind = dev::DmaKind::Write;
+    job.dst = 0x9f00'0000; // violates
+    job.bytes = 64;
+    engine.start(job, 0);
+    soc.sim().runUntil([&] { return engine.done(); }, 100'000);
+    soc.sim().run(500); // let the CPU service the interrupt
+
+    EXPECT_GE(monitor.violationsHandled(), 1u);
+    EXPECT_GE(cpu.interruptsServiced(), 1u);
+    // Record acknowledged: cleared for the next violation.
+    EXPECT_FALSE(soc.iopmp().violationRecord().has_value());
+}
+
+} // namespace
+} // namespace iopmp
+} // namespace siopmp

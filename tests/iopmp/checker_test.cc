@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Unit tests for the checker implementations: priority semantics,
+ * memory-domain masking and pipeline/window behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "iopmp/checker.hh"
+#include "iopmp/linear_checker.hh"
+#include "iopmp/pipelined_checker.hh"
+#include "iopmp/tree_checker.hh"
+
+namespace siopmp {
+namespace iopmp {
+namespace {
+
+/** Table fixture: 8 entries split across 3 memory domains. */
+class CheckerFixture : public ::testing::Test
+{
+  protected:
+    CheckerFixture() : entries(8), mdcfg(3, 8)
+    {
+        // MD0: entries 0..1, MD1: entries 2..3, MD2: entries 4..7.
+        mdcfg.setTop(0, 2);
+        mdcfg.setTop(1, 4);
+        mdcfg.setTop(2, 8);
+
+        // Priority pair within MD0: entry 0 denies a window that
+        // entry 1 would otherwise allow (the paper's §2.2 example).
+        entries.set(0, Entry::range(0x1000, 0x100, Perm::None));
+        entries.set(1, Entry::range(0x1000, 0x1000, Perm::Read));
+        // MD1: RW buffer.
+        entries.set(2, Entry::range(0x2000, 0x800, Perm::ReadWrite));
+        // MD2: disjoint regions.
+        entries.set(4, Entry::range(0x3000, 0x100, Perm::Write));
+        entries.set(5, Entry::range(0x3100, 0x100, Perm::Read));
+    }
+
+    CheckRequest
+    req(Addr addr, Addr len, Perm perm, std::uint64_t mds) const
+    {
+        return CheckRequest{addr, len, perm, mds};
+    }
+
+    EntryTable entries;
+    MdCfgTable mdcfg;
+};
+
+TEST_F(CheckerFixture, HigherPriorityEntryWins)
+{
+    LinearChecker c(entries, mdcfg);
+    // Entry 0 (None) shadows entry 1 (Read) inside [0x1000,0x1100).
+    auto r = c.check(req(0x1000, 8, Perm::Read, 0b001));
+    EXPECT_FALSE(r.allowed);
+    EXPECT_EQ(r.entry, 0);
+    // Outside entry 0's window, entry 1 grants read.
+    r = c.check(req(0x1100, 8, Perm::Read, 0b001));
+    EXPECT_TRUE(r.allowed);
+    EXPECT_EQ(r.entry, 1);
+}
+
+TEST_F(CheckerFixture, MdBitmapMasksEntries)
+{
+    LinearChecker c(entries, mdcfg);
+    // MD1's buffer is invisible to a SID associated only with MD0.
+    auto r = c.check(req(0x2000, 8, Perm::Read, 0b001));
+    EXPECT_FALSE(r.allowed);
+    EXPECT_EQ(r.entry, -1);
+    // With MD1 selected it is visible.
+    r = c.check(req(0x2000, 8, Perm::Read, 0b010));
+    EXPECT_TRUE(r.allowed);
+    EXPECT_EQ(r.entry, 2);
+}
+
+TEST_F(CheckerFixture, DefaultDenyWhenNothingMatches)
+{
+    LinearChecker c(entries, mdcfg);
+    auto r = c.check(req(0x9000, 8, Perm::Read, 0b111));
+    EXPECT_FALSE(r.allowed);
+    EXPECT_EQ(r.entry, -1);
+}
+
+TEST_F(CheckerFixture, PartialOverlapDenies)
+{
+    LinearChecker c(entries, mdcfg);
+    // Burst straddles the boundary of entry 2's region.
+    auto r = c.check(req(0x27f8, 16, Perm::Read, 0b010));
+    EXPECT_FALSE(r.allowed);
+    EXPECT_TRUE(r.partial);
+    EXPECT_EQ(r.entry, 2);
+}
+
+TEST_F(CheckerFixture, WritePermissionEnforced)
+{
+    LinearChecker c(entries, mdcfg);
+    EXPECT_TRUE(c.check(req(0x3000, 8, Perm::Write, 0b100)).allowed);
+    EXPECT_FALSE(c.check(req(0x3000, 8, Perm::Read, 0b100)).allowed);
+    EXPECT_TRUE(c.check(req(0x3100, 8, Perm::Read, 0b100)).allowed);
+    EXPECT_FALSE(c.check(req(0x3100, 8, Perm::Write, 0b100)).allowed);
+}
+
+TEST_F(CheckerFixture, TreeMatchesLinearOnFixture)
+{
+    LinearChecker lin(entries, mdcfg);
+    TreeChecker tree(entries, mdcfg);
+    const std::uint64_t mds[] = {0b001, 0b010, 0b100, 0b111, 0b000};
+    for (Addr addr = 0x0f00; addr < 0x3400; addr += 0x40) {
+        for (auto md : mds) {
+            for (Perm p : {Perm::Read, Perm::Write}) {
+                auto a = lin.check(req(addr, 16, p, md));
+                auto b = tree.check(req(addr, 16, p, md));
+                EXPECT_EQ(a.allowed, b.allowed) << "addr=" << addr;
+                EXPECT_EQ(a.entry, b.entry) << "addr=" << addr;
+            }
+        }
+    }
+}
+
+TEST_F(CheckerFixture, PipelinedMatchesLinear)
+{
+    LinearChecker lin(entries, mdcfg);
+    for (unsigned stages : {1u, 2u, 3u, 4u}) {
+        for (bool tree_units : {false, true}) {
+            PipelinedChecker pipe(entries, mdcfg, stages, tree_units);
+            for (Addr addr = 0x0f00; addr < 0x3400; addr += 0x80) {
+                auto a = lin.check(req(addr, 8, Perm::Read, 0b111));
+                auto b = pipe.check(req(addr, 8, Perm::Read, 0b111));
+                EXPECT_EQ(a.allowed, b.allowed);
+                EXPECT_EQ(a.entry, b.entry);
+            }
+        }
+    }
+}
+
+TEST_F(CheckerFixture, StageWindowsPartitionTable)
+{
+    PipelinedChecker pipe(entries, mdcfg, 3, true);
+    unsigned covered = 0;
+    unsigned prev_hi = 0;
+    for (unsigned s = 0; s < 3; ++s) {
+        auto [lo, hi] = pipe.stageWindow(s);
+        EXPECT_EQ(lo, prev_hi);
+        prev_hi = hi;
+        covered += hi - lo;
+    }
+    EXPECT_EQ(covered, 8u);
+    EXPECT_EQ(prev_hi, 8u);
+}
+
+TEST_F(CheckerFixture, ExtraLatencyFollowsStages)
+{
+    LinearChecker lin(entries, mdcfg);
+    TreeChecker tree(entries, mdcfg);
+    PipelinedChecker p2(entries, mdcfg, 2, true);
+    PipelinedChecker p3(entries, mdcfg, 3, true);
+    EXPECT_EQ(lin.extraLatency(), 0u);
+    EXPECT_EQ(tree.extraLatency(), 0u);
+    EXPECT_EQ(p2.extraLatency(), 1u);
+    EXPECT_EQ(p3.extraLatency(), 2u);
+}
+
+TEST_F(CheckerFixture, FactoryProducesRequestedKinds)
+{
+    auto lin = makeChecker(CheckerKind::Linear, 1, entries, mdcfg);
+    auto tree = makeChecker(CheckerKind::Tree, 1, entries, mdcfg);
+    auto pt = makeChecker(CheckerKind::PipelineTree, 2, entries, mdcfg);
+    auto pl = makeChecker(CheckerKind::PipelineLinear, 3, entries, mdcfg);
+    EXPECT_EQ(lin->kind(), CheckerKind::Linear);
+    EXPECT_EQ(tree->kind(), CheckerKind::Tree);
+    EXPECT_EQ(pt->kind(), CheckerKind::PipelineTree);
+    EXPECT_EQ(pt->stages(), 2u);
+    EXPECT_EQ(pl->stages(), 3u);
+}
+
+TEST(TreeChecker, AritiesAgree)
+{
+    EntryTable entries(16);
+    MdCfgTable mdcfg(1, 16);
+    mdcfg.setTop(0, 16);
+    for (unsigned i = 0; i < 16; ++i) {
+        entries.set(i, Entry::range(0x1000 * i, 0x800,
+                                    i % 2 ? Perm::Read : Perm::ReadWrite));
+    }
+    TreeChecker binary(entries, mdcfg, 2);
+    TreeChecker quad(entries, mdcfg, 4);
+    TreeChecker wide(entries, mdcfg, 8);
+    for (Addr addr = 0; addr < 0x10000; addr += 0x400) {
+        CheckRequest r{addr, 8, Perm::Write, 0b1};
+        auto a = binary.check(r);
+        auto b = quad.check(r);
+        auto c = wide.check(r);
+        EXPECT_EQ(a.allowed, b.allowed);
+        EXPECT_EQ(a.entry, b.entry);
+        EXPECT_EQ(a.allowed, c.allowed);
+        EXPECT_EQ(a.entry, c.entry);
+    }
+}
+
+TEST(Checker, EmptyTableDeniesEverything)
+{
+    EntryTable entries(4);
+    MdCfgTable mdcfg(1, 4);
+    mdcfg.setTop(0, 4);
+    LinearChecker lin(entries, mdcfg);
+    TreeChecker tree(entries, mdcfg);
+    CheckRequest r{0x1000, 8, Perm::Read, 0b1};
+    EXPECT_FALSE(lin.check(r).allowed);
+    EXPECT_FALSE(tree.check(r).allowed);
+}
+
+} // namespace
+} // namespace iopmp
+} // namespace siopmp

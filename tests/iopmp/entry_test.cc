@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit tests for IOPMP entries.
+ */
+
+#include <gtest/gtest.h>
+
+#include "iopmp/entry.hh"
+
+namespace siopmp {
+namespace iopmp {
+namespace {
+
+TEST(Entry, OffNeverMatches)
+{
+    Entry e = Entry::off();
+    EXPECT_FALSE(e.enabled());
+    EXPECT_FALSE(e.matches(0, 8));
+    EXPECT_FALSE(e.overlaps(0, 8));
+}
+
+TEST(Entry, RangeFullContainment)
+{
+    Entry e = Entry::range(0x1000, 0x100, Perm::ReadWrite);
+    EXPECT_TRUE(e.matches(0x1000, 0x100));
+    EXPECT_TRUE(e.matches(0x1080, 0x80));
+    EXPECT_FALSE(e.matches(0x1080, 0x81));
+    EXPECT_FALSE(e.matches(0xfff, 8));
+}
+
+TEST(Entry, SubPageGranularity)
+{
+    // The paper's key flexibility claim: arbitrary byte-granular
+    // regions, e.g. a 60-byte network packet inside a page.
+    Entry e = Entry::range(0x2004, 60, Perm::Write);
+    EXPECT_TRUE(e.matches(0x2004, 60));
+    EXPECT_TRUE(e.matches(0x2010, 4));
+    EXPECT_FALSE(e.matches(0x2000, 8));
+}
+
+TEST(Entry, OverlapsVsMatches)
+{
+    Entry e = Entry::range(0x1000, 0x100, Perm::Read);
+    EXPECT_TRUE(e.overlaps(0x10f8, 16)); // straddles the top boundary
+    EXPECT_FALSE(e.matches(0x10f8, 16));
+    EXPECT_TRUE(e.overlaps(0xff8, 16)); // straddles the bottom
+    EXPECT_FALSE(e.overlaps(0x1100, 8));
+    EXPECT_FALSE(e.overlaps(0xff8, 8));
+}
+
+TEST(Entry, ZeroLengthNeverMatches)
+{
+    Entry e = Entry::range(0x1000, 0x100, Perm::Read);
+    EXPECT_FALSE(e.matches(0x1000, 0));
+    EXPECT_FALSE(e.overlaps(0x1000, 0));
+}
+
+TEST(Entry, NapotAlignedRegion)
+{
+    Entry e = Entry::napot(0x4000, 0x1000, Perm::Read);
+    EXPECT_TRUE(e.matches(0x4000, 0x1000));
+    EXPECT_TRUE(e.matches(0x4800, 0x800));
+    EXPECT_FALSE(e.matches(0x3ff8, 16));
+    EXPECT_EQ(e.mode(), EntryMode::Napot);
+}
+
+TEST(EntryDeath, NapotRejectsBadSizeOrAlignment)
+{
+    EXPECT_DEATH((void)Entry::napot(0x4000, 0x300, Perm::Read),
+                 "power of two");
+    EXPECT_DEATH((void)Entry::napot(0x4100, 0x1000, Perm::Read),
+                 "aligned");
+    EXPECT_DEATH((void)Entry::napot(0x0, 4, Perm::Read), "power of two");
+}
+
+TEST(Entry, PermHelpers)
+{
+    EXPECT_TRUE(permits(Perm::ReadWrite, Perm::Read));
+    EXPECT_TRUE(permits(Perm::ReadWrite, Perm::Write));
+    EXPECT_TRUE(permits(Perm::Read, Perm::Read));
+    EXPECT_FALSE(permits(Perm::Read, Perm::Write));
+    EXPECT_FALSE(permits(Perm::None, Perm::Read));
+    EXPECT_FALSE(permits(Perm::Write, Perm::ReadWrite));
+}
+
+TEST(Entry, LockIsSticky)
+{
+    Entry e = Entry::range(0x0, 8, Perm::Read);
+    EXPECT_FALSE(e.locked());
+    e.lock();
+    EXPECT_TRUE(e.locked());
+}
+
+TEST(Entry, ToStringShowsPermAndRange)
+{
+    Entry e = Entry::range(0x1000, 0x10, Perm::ReadWrite);
+    const std::string s = e.toString();
+    EXPECT_NE(s.find("rw"), std::string::npos);
+    EXPECT_NE(s.find("0x1000"), std::string::npos);
+}
+
+TEST(Entry, HugeRangeNoOverflow)
+{
+    Entry e = Entry::range(0x0, ~Addr{0}, Perm::ReadWrite);
+    EXPECT_TRUE(e.matches(0xffffffffff000000ULL, 0x1000));
+}
+
+} // namespace
+} // namespace iopmp
+} // namespace siopmp

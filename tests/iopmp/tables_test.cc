@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for the SRC2MD, MDCFG and entry tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include "iopmp/tables.hh"
+
+namespace siopmp {
+namespace iopmp {
+namespace {
+
+TEST(EntryTable, SetGetClear)
+{
+    EntryTable t(8);
+    EXPECT_EQ(t.size(), 8u);
+    EXPECT_FALSE(t.get(0).enabled());
+    EXPECT_TRUE(t.set(3, Entry::range(0x1000, 0x10, Perm::Read)));
+    EXPECT_TRUE(t.get(3).enabled());
+    EXPECT_TRUE(t.clear(3));
+    EXPECT_FALSE(t.get(3).enabled());
+    EXPECT_EQ(t.writeCount(), 2u);
+}
+
+TEST(EntryTable, LockBlocksNonMachineMode)
+{
+    EntryTable t(4);
+    t.set(0, Entry::range(0x0, 0x10, Perm::Read));
+    t.lock(0);
+    EXPECT_FALSE(t.set(0, Entry::off(), /*machine_mode=*/false));
+    EXPECT_TRUE(t.get(0).enabled());
+    // M-mode may still rewrite, and the lock stays sticky.
+    EXPECT_TRUE(t.set(0, Entry::range(0x0, 0x20, Perm::Write)));
+    EXPECT_TRUE(t.get(0).locked());
+}
+
+TEST(EntryTable, ResetDisablesEverything)
+{
+    EntryTable t(4);
+    t.set(1, Entry::range(0x0, 8, Perm::Read));
+    t.resetAll();
+    for (unsigned i = 0; i < 4; ++i)
+        EXPECT_FALSE(t.get(i).enabled());
+    EXPECT_EQ(t.writeCount(), 0u);
+}
+
+TEST(Src2Md, AssociateBitmap)
+{
+    Src2MdTable t(64, 63);
+    EXPECT_TRUE(t.associate(5, 0));
+    EXPECT_TRUE(t.associate(5, 62));
+    EXPECT_TRUE(t.associated(5, 0));
+    EXPECT_TRUE(t.associated(5, 62));
+    EXPECT_FALSE(t.associated(5, 1));
+    EXPECT_EQ(t.bitmap(5),
+              (std::uint64_t{1} << 0) | (std::uint64_t{1} << 62));
+    EXPECT_TRUE(t.deassociate(5, 0));
+    EXPECT_FALSE(t.associated(5, 0));
+}
+
+TEST(Src2Md, RejectsOutOfRange)
+{
+    Src2MdTable t(64, 63);
+    EXPECT_FALSE(t.associate(64, 0));  // bad SID
+    EXPECT_FALSE(t.associate(0, 63));  // bad MD
+    EXPECT_FALSE(t.setBitmap(0, std::uint64_t{1} << 63)); // bit 63 invalid
+}
+
+TEST(Src2Md, StickyLockFreezesRow)
+{
+    Src2MdTable t(64, 63);
+    t.associate(3, 1);
+    t.lock(3);
+    EXPECT_TRUE(t.locked(3));
+    EXPECT_FALSE(t.associate(3, 2));
+    EXPECT_FALSE(t.deassociate(3, 1));
+    EXPECT_FALSE(t.setBitmap(3, 0));
+    EXPECT_TRUE(t.associated(3, 1));
+    // Lock is per-row.
+    EXPECT_TRUE(t.associate(4, 2));
+}
+
+TEST(Src2Md, SetBitmapWholeRow)
+{
+    Src2MdTable t(64, 63);
+    EXPECT_TRUE(t.setBitmap(7, 0b1011));
+    EXPECT_TRUE(t.associated(7, 0));
+    EXPECT_TRUE(t.associated(7, 1));
+    EXPECT_FALSE(t.associated(7, 2));
+    EXPECT_TRUE(t.associated(7, 3));
+}
+
+TEST(MdCfg, PartitionSemantics)
+{
+    // Paper semantics: entry j belongs to MD m iff
+    // MD_{m-1}.T <= j < MD_m.T; MD 0 owns j < MD_0.T.
+    MdCfgTable t(4, 64);
+    EXPECT_TRUE(t.setTop(0, 4));
+    EXPECT_TRUE(t.setTop(1, 10));
+    EXPECT_TRUE(t.setTop(2, 10)); // empty MD
+    EXPECT_TRUE(t.setTop(3, 16));
+
+    EXPECT_EQ(t.lo(0), 0u);
+    EXPECT_EQ(t.hi(0), 4u);
+    EXPECT_EQ(t.lo(1), 4u);
+    EXPECT_EQ(t.hi(1), 10u);
+    EXPECT_EQ(t.lo(2), 10u);
+    EXPECT_EQ(t.hi(2), 10u);
+
+    EXPECT_EQ(t.mdOfEntry(0), 0);
+    EXPECT_EQ(t.mdOfEntry(3), 0);
+    EXPECT_EQ(t.mdOfEntry(4), 1);
+    EXPECT_EQ(t.mdOfEntry(9), 1);
+    EXPECT_EQ(t.mdOfEntry(10), 3); // MD2 is empty
+    EXPECT_EQ(t.mdOfEntry(15), 3);
+    EXPECT_EQ(t.mdOfEntry(16), -1);
+}
+
+TEST(MdCfg, RejectsNonMonotonic)
+{
+    MdCfgTable t(3, 64);
+    EXPECT_TRUE(t.setTop(0, 8));
+    EXPECT_TRUE(t.setTop(1, 16));
+    EXPECT_FALSE(t.setTop(0, 20)); // would exceed MD1's top
+    EXPECT_FALSE(t.setTop(2, 12)); // below MD1's top
+    EXPECT_FALSE(t.setTop(1, 4));  // below MD0's top
+    EXPECT_TRUE(t.setTop(2, 64));
+    EXPECT_FALSE(t.setTop(2, 65)); // beyond entry count
+}
+
+TEST(MdCfg, ResetZeroesTops)
+{
+    MdCfgTable t(3, 64);
+    t.setTop(0, 8);
+    t.resetAll();
+    EXPECT_EQ(t.top(0), 0u);
+    EXPECT_EQ(t.mdOfEntry(0), -1);
+}
+
+} // namespace
+} // namespace iopmp
+} // namespace siopmp

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Unit tests for violation-handling support structures.
+ */
+
+#include <gtest/gtest.h>
+
+#include "iopmp/violation.hh"
+
+namespace siopmp {
+namespace iopmp {
+namespace {
+
+TEST(Sid2Addr, RecordLookupRelease)
+{
+    Sid2AddrTable t;
+    t.record(1, 42, {/*device=*/7, /*addr=*/0x1000, /*violated=*/true});
+    auto info = t.lookup(1, 42);
+    ASSERT_TRUE(info.has_value());
+    EXPECT_EQ(info->device, 7u);
+    EXPECT_EQ(info->addr, 0x1000u);
+    EXPECT_TRUE(info->violated);
+    t.release(1, 42);
+    EXPECT_FALSE(t.lookup(1, 42).has_value());
+}
+
+TEST(Sid2Addr, RouteDisambiguatesSameTxn)
+{
+    Sid2AddrTable t;
+    t.record(0, 5, {1, 0x100, false});
+    t.record(1, 5, {2, 0x200, true});
+    EXPECT_FALSE(t.lookup(0, 5)->violated);
+    EXPECT_TRUE(t.lookup(1, 5)->violated);
+    EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(Sid2Addr, MissReturnsNothing)
+{
+    Sid2AddrTable t;
+    EXPECT_FALSE(t.lookup(0, 0).has_value());
+    t.release(0, 0); // releasing a miss is harmless
+}
+
+TEST(Sid2Addr, OverwriteSameKey)
+{
+    Sid2AddrTable t;
+    t.record(2, 9, {1, 0x0, false});
+    t.record(2, 9, {1, 0x0, true});
+    EXPECT_TRUE(t.lookup(2, 9)->violated);
+    EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(ViolationPolicy, Names)
+{
+    EXPECT_STREQ(violationPolicyName(ViolationPolicy::BusError),
+                 "bus-error");
+    EXPECT_STREQ(violationPolicyName(ViolationPolicy::PacketMasking),
+                 "packet-masking");
+}
+
+} // namespace
+} // namespace iopmp
+} // namespace siopmp

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Unit tests for the sparse memory backing store.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "mem/memory.hh"
+
+namespace siopmp {
+namespace mem {
+namespace {
+
+TEST(Backing, UnwrittenReadsAsZero)
+{
+    Backing m;
+    EXPECT_EQ(m.read8(0x1234), 0);
+    EXPECT_EQ(m.read64(0xdeadbeef), 0u);
+    EXPECT_EQ(m.allocatedPages(), 0u);
+}
+
+TEST(Backing, ByteRoundTrip)
+{
+    Backing m;
+    m.write8(0x42, 0xab);
+    EXPECT_EQ(m.read8(0x42), 0xab);
+    EXPECT_EQ(m.read8(0x43), 0);
+}
+
+TEST(Backing, Word64LittleEndian)
+{
+    Backing m;
+    m.write64(0x100, 0x0807060504030201ULL);
+    EXPECT_EQ(m.read8(0x100), 0x01);
+    EXPECT_EQ(m.read8(0x107), 0x08);
+    EXPECT_EQ(m.read64(0x100), 0x0807060504030201ULL);
+}
+
+TEST(Backing, StrobeMasksBytes)
+{
+    Backing m;
+    m.write64(0x200, 0xffffffffffffffffULL);
+    m.write64(0x200, 0x0, /*strobe=*/0x0f); // clear low 4 bytes only
+    EXPECT_EQ(m.read64(0x200), 0xffffffff00000000ULL);
+}
+
+TEST(Backing, ZeroStrobeWritesNothing)
+{
+    Backing m;
+    m.write64(0x300, 0x1122334455667788ULL);
+    m.write64(0x300, 0xdeadbeefULL, /*strobe=*/0x00);
+    EXPECT_EQ(m.read64(0x300), 0x1122334455667788ULL);
+}
+
+TEST(Backing, CrossPageAccess)
+{
+    Backing m;
+    const Addr addr = 0x1000 - 4; // straddles a page boundary
+    m.write64(addr, 0xa1b2c3d4e5f60718ULL);
+    EXPECT_EQ(m.read64(addr), 0xa1b2c3d4e5f60718ULL);
+    EXPECT_EQ(m.allocatedPages(), 2u);
+}
+
+TEST(Backing, BlockRoundTrip)
+{
+    Backing m;
+    std::array<std::uint8_t, 100> in{};
+    for (std::size_t i = 0; i < in.size(); ++i)
+        in[i] = static_cast<std::uint8_t>(i * 3);
+    m.writeBlock(0x5000, in.data(), in.size());
+    std::array<std::uint8_t, 100> out{};
+    m.readBlock(0x5000, out.data(), out.size());
+    EXPECT_EQ(in, out);
+}
+
+TEST(Backing, FillSetsRange)
+{
+    Backing m;
+    m.fill(0x6000, 0x7e, 32);
+    for (Addr a = 0x6000; a < 0x6020; ++a)
+        EXPECT_EQ(m.read8(a), 0x7e);
+    EXPECT_EQ(m.read8(0x6020), 0);
+}
+
+} // namespace
+} // namespace mem
+} // namespace siopmp

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Unit tests for the memory map and address ranges.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/memmap.hh"
+
+namespace siopmp {
+namespace mem {
+namespace {
+
+TEST(Range, ContainsAndEnd)
+{
+    Range r{0x1000, 0x100};
+    EXPECT_EQ(r.end(), 0x1100u);
+    EXPECT_TRUE(r.contains(0x1000));
+    EXPECT_TRUE(r.contains(0x10ff));
+    EXPECT_FALSE(r.contains(0x1100));
+    EXPECT_FALSE(r.contains(0xfff));
+}
+
+TEST(Range, ContainsBlock)
+{
+    Range r{0x1000, 0x100};
+    EXPECT_TRUE(r.containsBlock(0x1000, 0x100));
+    EXPECT_TRUE(r.containsBlock(0x1080, 0x80));
+    EXPECT_FALSE(r.containsBlock(0x1080, 0x81));
+    EXPECT_FALSE(r.containsBlock(0xfff, 2));
+}
+
+TEST(Range, ContainsBlockNoOverflow)
+{
+    Range r{0xffffffffffffff00ULL, 0x100};
+    EXPECT_TRUE(r.containsBlock(0xffffffffffffff00ULL, 0x100));
+    EXPECT_FALSE(r.containsBlock(0xffffffffffffff80ULL, 0x100));
+}
+
+TEST(Range, Overlaps)
+{
+    Range a{0x1000, 0x100};
+    EXPECT_TRUE(a.overlaps({0x10ff, 1}));
+    EXPECT_TRUE(a.overlaps({0x0, 0x1001}));
+    EXPECT_FALSE(a.overlaps({0x1100, 0x100}));
+    EXPECT_FALSE(a.overlaps({0x0, 0x1000}));
+}
+
+TEST(MemMap, AddAndFind)
+{
+    MemMap map;
+    EXPECT_TRUE(map.add({"a", {0x1000, 0x100}, RegionKind::Dram}));
+    EXPECT_TRUE(map.add({"b", {0x2000, 0x100}, RegionKind::Mmio}));
+    const Region *r = map.find(0x1050);
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->name, "a");
+    EXPECT_EQ(map.find(0x1500), nullptr);
+    EXPECT_EQ(map.find(0x2000)->kind, RegionKind::Mmio);
+}
+
+TEST(MemMap, RejectsOverlap)
+{
+    MemMap map;
+    EXPECT_TRUE(map.add({"a", {0x1000, 0x100}, RegionKind::Dram}));
+    EXPECT_FALSE(map.add({"b", {0x10ff, 0x10}, RegionKind::Dram}));
+    EXPECT_EQ(map.regions().size(), 1u);
+}
+
+TEST(MemMap, RejectsZeroSize)
+{
+    MemMap map;
+    EXPECT_FALSE(map.add({"z", {0x1000, 0}, RegionKind::Dram}));
+}
+
+TEST(MemMap, FindByName)
+{
+    MemMap map;
+    map.add({"dram", {0x8000'0000, 0x1000}, RegionKind::Dram});
+    ASSERT_NE(map.findByName("dram"), nullptr);
+    EXPECT_EQ(map.findByName("nope"), nullptr);
+}
+
+TEST(MemMap, KeptSortedByBase)
+{
+    MemMap map;
+    map.add({"hi", {0x9000, 0x100}, RegionKind::Dram});
+    map.add({"lo", {0x1000, 0x100}, RegionKind::Dram});
+    map.add({"mid", {0x5000, 0x100}, RegionKind::Dram});
+    ASSERT_EQ(map.regions().size(), 3u);
+    EXPECT_EQ(map.regions()[0].name, "lo");
+    EXPECT_EQ(map.regions()[1].name, "mid");
+    EXPECT_EQ(map.regions()[2].name, "hi");
+}
+
+} // namespace
+} // namespace mem
+} // namespace siopmp

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Unit tests for the logger's trace-flag plumbing and severity split.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+namespace siopmp {
+namespace {
+
+TEST(Logger, EnableDisableByName)
+{
+    EXPECT_FALSE(Logger::enabled(TraceFlag::Bus));
+    EXPECT_TRUE(Logger::enable("bus"));
+    EXPECT_TRUE(Logger::enabled(TraceFlag::Bus));
+    EXPECT_TRUE(Logger::disable("bus"));
+    EXPECT_FALSE(Logger::enabled(TraceFlag::Bus));
+}
+
+TEST(Logger, NamesAreCaseInsensitive)
+{
+    EXPECT_TRUE(Logger::enable("IOPMP"));
+    EXPECT_TRUE(Logger::enabled(TraceFlag::Iopmp));
+    EXPECT_TRUE(Logger::disable("IoPmP"));
+}
+
+TEST(Logger, UnknownNameRejected)
+{
+    EXPECT_FALSE(Logger::enable("nonsense"));
+    EXPECT_FALSE(Logger::disable("nonsense"));
+}
+
+TEST(Logger, AllFlagNamesResolve)
+{
+    for (const char *name :
+         {"bus", "iopmp", "iommu", "device", "monitor", "workload"}) {
+        EXPECT_TRUE(Logger::enable(name)) << name;
+        EXPECT_TRUE(Logger::disable(name)) << name;
+    }
+}
+
+TEST(Logger, QuietModeToggles)
+{
+    EXPECT_FALSE(Logger::quiet());
+    Logger::setQuiet(true);
+    EXPECT_TRUE(Logger::quiet());
+    inform("this inform is suppressed by quiet mode: %d", 1);
+    warn("this warn is suppressed by quiet mode: %d", 2);
+    Logger::setQuiet(false);
+    EXPECT_FALSE(Logger::quiet());
+}
+
+TEST(LoggerDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("intentional test panic %d", 42), "intentional");
+}
+
+TEST(LoggerDeath, FatalExitsWithCodeOne)
+{
+    EXPECT_EXIT(fatal("intentional test fatal"),
+                ::testing::ExitedWithCode(1), "intentional");
+}
+
+TEST(LoggerDeath, AssertMacroReportsCondition)
+{
+    EXPECT_DEATH(SIOPMP_ASSERT(1 == 2, "math broke"), "1 == 2");
+}
+
+} // namespace
+} // namespace siopmp

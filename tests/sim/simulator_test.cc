@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for the cycle-driven simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace siopmp {
+namespace {
+
+/** Records the phase sequence it observes. */
+class Probe : public Tickable
+{
+  public:
+    explicit Probe(std::vector<std::string> *log)
+        : Tickable("probe"), log_(log)
+    {
+    }
+
+    void evaluate(Cycle now) override
+    {
+        log_->push_back("eval@" + std::to_string(now));
+    }
+
+    void advance(Cycle now) override
+    {
+        log_->push_back("adv@" + std::to_string(now));
+    }
+
+  private:
+    std::vector<std::string> *log_;
+};
+
+TEST(Simulator, TwoPhaseOrderWithinCycle)
+{
+    Simulator sim;
+    std::vector<std::string> log;
+    Probe p1(&log), p2(&log);
+    sim.add(&p1);
+    sim.add(&p2);
+    sim.step();
+    ASSERT_EQ(log.size(), 4u);
+    EXPECT_EQ(log[0], "eval@0");
+    EXPECT_EQ(log[1], "eval@0");
+    EXPECT_EQ(log[2], "adv@0");
+    EXPECT_EQ(log[3], "adv@0");
+}
+
+TEST(Simulator, RunAdvancesTime)
+{
+    Simulator sim;
+    sim.run(25);
+    EXPECT_EQ(sim.now(), 25u);
+}
+
+TEST(Simulator, EventsServicedBeforeComponents)
+{
+    Simulator sim;
+    std::vector<std::string> log;
+    Probe p(&log);
+    sim.add(&p);
+    sim.events().schedule(0, [&] { log.push_back("event"); });
+    sim.step();
+    ASSERT_GE(log.size(), 2u);
+    EXPECT_EQ(log[0], "event");
+    EXPECT_EQ(log[1], "eval@0");
+}
+
+TEST(Simulator, RunUntilPredicate)
+{
+    Simulator sim;
+    Cycle ran = sim.runUntil([&] { return sim.now() >= 13; });
+    EXPECT_EQ(ran, 13u);
+}
+
+TEST(Simulator, RunUntilHitsMaxCycles)
+{
+    Simulator sim;
+    Cycle ran = sim.runUntil([] { return false; }, 50);
+    EXPECT_EQ(ran, 50u);
+}
+
+TEST(Simulator, RemoveStopsTicking)
+{
+    Simulator sim;
+    std::vector<std::string> log;
+    Probe p(&log);
+    sim.add(&p);
+    sim.step();
+    sim.remove(&p);
+    sim.step();
+    EXPECT_EQ(log.size(), 2u); // only the first cycle's eval+adv
+}
+
+} // namespace
+} // namespace siopmp

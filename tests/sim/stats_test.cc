@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Unit tests for the statistics framework.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+namespace siopmp {
+namespace stats {
+namespace {
+
+TEST(Scalar, IncrementAndAdd)
+{
+    Scalar s;
+    EXPECT_EQ(s.value(), 0.0);
+    ++s;
+    s += 2.5;
+    EXPECT_DOUBLE_EQ(s.value(), 3.5);
+    s.reset();
+    EXPECT_EQ(s.value(), 0.0);
+}
+
+TEST(Average, MeanOfSamples)
+{
+    Average a;
+    EXPECT_EQ(a.mean(), 0.0);
+    a.sample(10);
+    a.sample(20);
+    a.sample(30);
+    EXPECT_DOUBLE_EQ(a.mean(), 20.0);
+    EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(Distribution, ExactPercentiles)
+{
+    Distribution d;
+    for (int i = 1; i <= 100; ++i)
+        d.sample(i);
+    EXPECT_DOUBLE_EQ(d.percentile(50), 50.0);
+    EXPECT_DOUBLE_EQ(d.percentile(99), 99.0);
+    EXPECT_DOUBLE_EQ(d.percentile(100), 100.0);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 100.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 50.5);
+}
+
+TEST(Distribution, PercentileOfSingleSample)
+{
+    Distribution d;
+    d.sample(42);
+    EXPECT_DOUBLE_EQ(d.percentile(50), 42.0);
+    EXPECT_DOUBLE_EQ(d.percentile(99), 42.0);
+}
+
+TEST(Distribution, SamplesAfterPercentileQueryStillCounted)
+{
+    Distribution d;
+    d.sample(5);
+    EXPECT_DOUBLE_EQ(d.percentile(50), 5.0);
+    d.sample(1); // forces re-sort
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_EQ(d.count(), 2u);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(0.0, 10.0, 5); // [0,10) ... [40,50)
+    h.sample(-1);
+    h.sample(0);
+    h.sample(9.99);
+    h.sample(10);
+    h.sample(49.9);
+    h.sample(50);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(4), 1u);
+    EXPECT_EQ(h.totalSamples(), 6u);
+}
+
+TEST(Group, DumpContainsRegisteredStats)
+{
+    Group g("unit");
+    g.scalar("hits") += 3;
+    g.average("lat").sample(7);
+    std::ostringstream os;
+    g.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("unit.hits 3"), std::string::npos);
+    EXPECT_NE(out.find("unit.lat.mean 7"), std::string::npos);
+}
+
+TEST(Group, SameNameReturnsSameStat)
+{
+    Group g("unit");
+    ++g.scalar("x");
+    ++g.scalar("x");
+    EXPECT_DOUBLE_EQ(g.scalar("x").value(), 2.0);
+}
+
+TEST(Group, ResetAllClearsEverything)
+{
+    Group g("unit");
+    g.scalar("a") += 5;
+    g.average("b").sample(1);
+    g.distribution("c").sample(2);
+    g.resetAll();
+    EXPECT_EQ(g.scalar("a").value(), 0.0);
+    EXPECT_EQ(g.average("b").count(), 0u);
+    EXPECT_EQ(g.distribution("c").count(), 0u);
+}
+
+} // namespace
+} // namespace stats
+} // namespace siopmp

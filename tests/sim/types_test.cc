@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Unit tests for the shared scalar-type helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/types.hh"
+
+namespace siopmp {
+namespace {
+
+TEST(Types, AlignDown)
+{
+    EXPECT_EQ(alignDown(0x1234, 0x100), 0x1200u);
+    EXPECT_EQ(alignDown(0x1200, 0x100), 0x1200u);
+    EXPECT_EQ(alignDown(0xff, 0x100), 0x0u);
+    EXPECT_EQ(alignDown(7, 1), 7u);
+}
+
+TEST(Types, AlignUp)
+{
+    EXPECT_EQ(alignUp(0x1234, 0x100), 0x1300u);
+    EXPECT_EQ(alignUp(0x1200, 0x100), 0x1200u);
+    EXPECT_EQ(alignUp(1, 0x1000), 0x1000u);
+    EXPECT_EQ(alignUp(0, 0x1000), 0x0u);
+}
+
+TEST(Types, IsPow2)
+{
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_TRUE(isPow2(1ULL << 40));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_FALSE(isPow2(0x1001));
+}
+
+TEST(Types, Log2Ceil)
+{
+    EXPECT_EQ(log2Ceil(1), 0u);
+    EXPECT_EQ(log2Ceil(2), 1u);
+    EXPECT_EQ(log2Ceil(3), 2u);
+    EXPECT_EQ(log2Ceil(4), 2u);
+    EXPECT_EQ(log2Ceil(1024), 10u);
+    EXPECT_EQ(log2Ceil(1025), 11u);
+}
+
+TEST(Types, PermOperators)
+{
+    EXPECT_EQ(Perm::Read | Perm::Write, Perm::ReadWrite);
+    EXPECT_EQ(Perm::ReadWrite & Perm::Read, Perm::Read);
+    EXPECT_EQ(Perm::Read & Perm::Write, Perm::None);
+}
+
+TEST(Types, PermNames)
+{
+    EXPECT_STREQ(permName(Perm::None), "--");
+    EXPECT_STREQ(permName(Perm::Read), "r-");
+    EXPECT_STREQ(permName(Perm::Write), "-w");
+    EXPECT_STREQ(permName(Perm::ReadWrite), "rw");
+}
+
+TEST(Types, Sentinels)
+{
+    EXPECT_GT(kNoAddr, Addr{0xffff'ffff'ffff'fff0ULL});
+    EXPECT_EQ(kNever, ~Cycle{0});
+    EXPECT_EQ(kNoSid, ~Sid{0});
+}
+
+} // namespace
+} // namespace siopmp

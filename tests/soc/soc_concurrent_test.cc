@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Heterogeneous concurrency: NIC, accelerator, DMA engine and a
+ * malicious device all active on one SoC, each confined to its own
+ * memory domain. Verifies mutual isolation under real contention and
+ * that everyone makes forward progress.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "devices/accelerator.hh"
+#include "devices/dma_engine.hh"
+#include "devices/malicious.hh"
+#include "devices/nic.hh"
+#include "soc/soc.hh"
+
+namespace siopmp {
+namespace soc {
+namespace {
+
+constexpr Addr kNicRegion = 0x8000'0000;   // rings + buffers
+constexpr Addr kAccelRegion = 0x8400'0000; // tensors
+constexpr Addr kDmaRegion = 0x8800'0000;   // copy scratch
+constexpr Addr kRegionSize = 0x0100'0000;
+
+class ConcurrentSoC : public ::testing::Test
+{
+  protected:
+    ConcurrentSoC()
+        : soc(cfg()),
+          nic("nic0", 1, soc.masterLink(0), nicCfg()),
+          accel("nvdla0", 2, soc.masterLink(1)),
+          dma("dma0", 3, soc.masterLink(2)),
+          evil("evil0", 4, soc.masterLink(3))
+    {
+        soc.add(&nic);
+        soc.add(&accel);
+        soc.add(&dma);
+        soc.add(&evil);
+
+        auto &unit = soc.iopmp();
+        // One MD per device: MD m owns entries [m*4, m*4+4).
+        for (MdIndex md = 0; md < unit.config().num_mds; ++md)
+            unit.mdcfg().setTop(md, std::min(16u, (md + 1) * 4));
+        const struct {
+            Sid sid;
+            DeviceId device;
+            Addr base;
+        } binds[] = {{0, 1, kNicRegion},
+                     {1, 2, kAccelRegion},
+                     {2, 3, kDmaRegion},
+                     {3, 4, 0x8c00'0000}};
+        for (const auto &bind : binds) {
+            unit.cam().set(bind.sid, bind.device);
+            unit.src2md().associate(bind.sid, bind.sid);
+            unit.entryTable().set(
+                bind.sid * 4,
+                iopmp::Entry::range(bind.base, kRegionSize,
+                                    Perm::ReadWrite));
+        }
+    }
+
+    static SocConfig
+    cfg()
+    {
+        SocConfig c;
+        c.num_masters = 4;
+        c.checker_kind = iopmp::CheckerKind::PipelineTree;
+        c.checker_stages = 2;
+        return c;
+    }
+
+    static dev::NicConfig
+    nicCfg()
+    {
+        dev::NicConfig c;
+        c.tx_ring = kNicRegion;
+        c.rx_ring = kNicRegion + 0x1000;
+        return c;
+    }
+
+    Soc soc;
+    dev::Nic nic;
+    dev::Accelerator accel;
+    dev::DmaEngine dma;
+    dev::MaliciousDevice evil;
+};
+
+TEST_F(ConcurrentSoC, EveryoneProgressesUnderContention)
+{
+    // NIC: 3 TX packets.
+    for (unsigned i = 0; i < 3; ++i) {
+        soc.memory().write64(kNicRegion + i * 16, kNicRegion + 0x10000);
+        soc.memory().write64(kNicRegion + i * 16 + 8, 512);
+    }
+    nic.postTx(3);
+
+    // Accelerator: 2 tiles.
+    dev::LayerJob layer;
+    layer.weights = kAccelRegion;
+    layer.inputs = kAccelRegion + 0x10'0000;
+    layer.outputs = kAccelRegion + 0x20'0000;
+    layer.tiles = 2;
+    layer.tile_bytes = 1024;
+    accel.start(layer, 0);
+
+    // DMA engine: 8 KiB copy.
+    soc.memory().fill(kDmaRegion, 0x33, 8192);
+    dev::DmaJob copy;
+    copy.kind = dev::DmaKind::Copy;
+    copy.src = kDmaRegion;
+    copy.dst = kDmaRegion + 0x10'0000;
+    copy.bytes = 8192;
+    copy.max_outstanding = 3;
+    dma.start(copy, 0);
+
+    // Attacker: hammer everyone else's regions.
+    dev::AttackPlan plan;
+    plan.kind = dev::AttackKind::ArbitraryScan;
+    plan.target_base = kNicRegion;
+    plan.target_size = 0x0c00'0000; // spans NIC+accel+dma regions
+    plan.probes = 48;
+    evil.startAttack(plan, 0);
+
+    soc.sim().runUntil(
+        [&] {
+            return nic.txPackets() == 3 && accel.done() && dma.done() &&
+                   evil.done();
+        },
+        3'000'000);
+
+    EXPECT_EQ(nic.txPackets(), 3u);
+    EXPECT_EQ(accel.tilesCompleted(), 2u);
+    EXPECT_EQ(soc.memory().read64(kDmaRegion + 0x10'0000),
+              0x3333333333333333ULL);
+    EXPECT_EQ(evil.leakedWords(), 0u);
+}
+
+TEST_F(ConcurrentSoC, CrossDomainAccessesAllDenied)
+{
+    // Every device probing every other device's region must fail.
+    const Addr regions[] = {kNicRegion, kAccelRegion, kDmaRegion};
+    const DeviceId devices[] = {1, 2, 3};
+    auto &unit = soc.iopmp();
+    for (unsigned d = 0; d < 3; ++d) {
+        for (unsigned r = 0; r < 3; ++r) {
+            const auto status =
+                unit.authorize(devices[d], regions[r], 64, Perm::Read)
+                    .status;
+            if (d == r)
+                EXPECT_EQ(status, iopmp::AuthStatus::Allow) << d;
+            else
+                EXPECT_EQ(status, iopmp::AuthStatus::Deny) << d << r;
+        }
+    }
+}
+
+TEST_F(ConcurrentSoC, StatsSeparateCheckersPerDevice)
+{
+    dev::DmaJob copy;
+    copy.kind = dev::DmaKind::Read;
+    copy.src = kDmaRegion;
+    copy.bytes = 640;
+    dma.start(copy, 0);
+    soc.sim().runUntil([&] { return dma.done(); }, 200'000);
+
+    std::ostringstream os;
+    soc.dumpStats(os);
+    const std::string stats = os.str();
+    // Device 3 sits on master port 2: only ITS checker accumulated
+    // stats (groups are lazy — quiet checkers emit nothing).
+    EXPECT_NE(stats.find("checker2.beats_forwarded"), std::string::npos);
+    EXPECT_EQ(stats.find("checker0.beats_forwarded"), std::string::npos);
+}
+
+} // namespace
+} // namespace soc
+} // namespace siopmp

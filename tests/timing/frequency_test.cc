@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests pinning the frequency model to the paper's Fig 10 anchors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "timing/frequency.hh"
+
+namespace siopmp {
+namespace timing {
+namespace {
+
+using iopmp::CheckerKind;
+
+double
+mhz(CheckerKind kind, unsigned entries, unsigned stages)
+{
+    return achievableFrequencyMhz({kind, entries, stages, 2});
+}
+
+TEST(Frequency, CapIsSixtyMhz)
+{
+    FrequencyParams p;
+    EXPECT_DOUBLE_EQ(p.platform_cap_mhz, 60.0);
+    EXPECT_DOUBLE_EQ(mhz(CheckerKind::Linear, 16, 1), 60.0);
+}
+
+TEST(Frequency, BaselineHoldsCapThrough128)
+{
+    // Paper: "the clock frequency can only be sustained at 60MHz up to
+    // 128 entries" for the baseline IOPMP.
+    for (unsigned n : {16u, 32u, 64u, 128u})
+        EXPECT_DOUBLE_EQ(mhz(CheckerKind::Linear, n, 1), 60.0) << n;
+    EXPECT_LT(mhz(CheckerKind::Linear, 256, 1), 60.0);
+}
+
+TEST(Frequency, BaselineFailsTimingAt1024)
+{
+    // Paper: baseline "cannot pass the clock frequency analysis with
+    // 1024 entries" — modelled as falling below the routing floor.
+    EXPECT_DOUBLE_EQ(mhz(CheckerKind::Linear, 1024, 1), 0.0);
+}
+
+TEST(Frequency, PipelineOnlyScalesWithStages)
+{
+    // Paper: a 2-pipeline checker maintains frequency for 256 entries.
+    EXPECT_DOUBLE_EQ(mhz(CheckerKind::PipelineLinear, 256, 2), 60.0);
+    // But 1024 entries drop to ~10 MHz.
+    const double f = mhz(CheckerKind::PipelineLinear, 1024, 2);
+    EXPECT_GT(f, 0.0);
+    EXPECT_LT(f, 20.0);
+}
+
+TEST(Frequency, TwoPipeTreeHolds512SlightDegradationAt1024)
+{
+    EXPECT_DOUBLE_EQ(mhz(CheckerKind::PipelineTree, 512, 2), 60.0);
+    const double f1024 = mhz(CheckerKind::PipelineTree, 1024, 2);
+    EXPECT_LT(f1024, 60.0);
+    EXPECT_GT(f1024, 50.0); // "only a slight degradation"
+}
+
+TEST(Frequency, ThreePipeTreeHolds1024)
+{
+    EXPECT_DOUBLE_EQ(mhz(CheckerKind::PipelineTree, 1024, 3), 60.0);
+}
+
+TEST(Frequency, OrderingAtEveryEntryCount)
+{
+    // More microarchitectural effort never hurts frequency.
+    for (unsigned n : {64u, 128u, 256u, 512u, 1024u}) {
+        const double lin = mhz(CheckerKind::Linear, n, 1);
+        const double p2 = mhz(CheckerKind::PipelineLinear, n, 2);
+        const double p2t = mhz(CheckerKind::PipelineTree, n, 2);
+        const double p3t = mhz(CheckerKind::PipelineTree, n, 3);
+        EXPECT_LE(lin, p2) << n;
+        EXPECT_LE(p2, p2t) << n;
+        EXPECT_LE(p2t, p3t) << n;
+    }
+}
+
+TEST(Frequency, MeetsPlatformCapPredicate)
+{
+    EXPECT_TRUE(meetsPlatformCap({CheckerKind::PipelineTree, 512, 2, 2}));
+    EXPECT_FALSE(meetsPlatformCap({CheckerKind::Linear, 1024, 1, 2}));
+}
+
+} // namespace
+} // namespace timing
+} // namespace siopmp

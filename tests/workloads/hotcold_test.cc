@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tests pinning the Fig 17 hot/cold workload and the §6.3 cold-switch
+ * cost to the paper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/hotcold.hh"
+
+namespace siopmp {
+namespace wl {
+namespace {
+
+HotColdResult
+run(unsigned ratio, bool matched, unsigned bursts = 1200)
+{
+    HotColdConfig cfg;
+    cfg.ratio = ratio;
+    cfg.matched = matched;
+    cfg.hot_bursts = bursts;
+    return runHotCold(cfg);
+}
+
+TEST(Fig17, ColdSwitchCostIs341For8Entries)
+{
+    EXPECT_EQ(coldSwitchCost(8), 341u);
+}
+
+TEST(Fig17, ColdSwitchCostScalesWithEntries)
+{
+    const Cycle c1 = coldSwitchCost(1);
+    const Cycle c8 = coldSwitchCost(8);
+    const Cycle c16 = coldSwitchCost(16);
+    EXPECT_LT(c1, c8);
+    EXPECT_LT(c8, c16);
+}
+
+TEST(Fig17, MatchedStatusCostsNothing)
+{
+    // Correct hot/cold assignment: cold switching does not touch the
+    // hot device (paper: "no blocking").
+    for (unsigned ratio : {100u, 10u}) {
+        const auto result = run(ratio, /*matched=*/true);
+        EXPECT_GT(result.hot_throughput_pct, 98.0) << ratio;
+    }
+}
+
+TEST(Fig17, MismatchedTenToOneCollapses)
+{
+    // Paper: ~85% of hot throughput wasted at 1:10.
+    const auto result = run(10, /*matched=*/false);
+    EXPECT_LT(result.hot_throughput_pct, 30.0);
+    EXPECT_GT(result.hot_throughput_pct, 5.0);
+}
+
+TEST(Fig17, MismatchDegradesWithFrequency)
+{
+    const auto r1000 = run(1000, false, 3000);
+    const auto r100 = run(100, false);
+    const auto r10 = run(10, false);
+    EXPECT_GT(r1000.hot_throughput_pct, r100.hot_throughput_pct);
+    EXPECT_GT(r100.hot_throughput_pct, r10.hot_throughput_pct);
+}
+
+TEST(Fig17, MismatchedThrashesTheEsidSlot)
+{
+    const auto matched = run(100, true);
+    const auto mismatched = run(100, false);
+    // Matched: one mount for the cold device's first burst, then it
+    // stays mounted; mismatched: every alternation switches.
+    EXPECT_GT(mismatched.sid_misses, 10 * std::max<std::uint64_t>(
+                                              1, matched.sid_misses));
+}
+
+TEST(Fig17, RareColdTrafficHarmlessEvenMismatched)
+{
+    const auto result = run(10'000, false, 20'000);
+    EXPECT_GT(result.hot_throughput_pct, 97.0);
+}
+
+} // namespace
+} // namespace wl
+} // namespace siopmp

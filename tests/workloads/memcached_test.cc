@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests pinning the Fig 16 memcached workload to the paper's claims.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/memcached.hh"
+
+namespace siopmp {
+namespace wl {
+namespace {
+
+TEST(Fig16, LatencyFlatAtLowLoad)
+{
+    auto low = runMemcached(Protection::None, 5'000);
+    auto mid = runMemcached(Protection::None, 20'000);
+    // Below the knee, p50 barely moves.
+    EXPECT_LT(mid.p50_us, low.p50_us * 1.2);
+}
+
+TEST(Fig16, LatencyExplodesPastSaturation)
+{
+    auto below = runMemcached(Protection::None, 30'000);
+    auto above = runMemcached(Protection::None, 55'000);
+    EXPECT_GT(above.p99_us, 3.0 * below.p99_us);
+}
+
+TEST(Fig16, TailAboveMedianAlways)
+{
+    for (double qps : {5'000.0, 25'000.0, 45'000.0}) {
+        auto point = runMemcached(Protection::None, qps);
+        EXPECT_GT(point.p99_us, point.p50_us);
+    }
+}
+
+TEST(Fig16, SiopmpOverlaysUnprotectedCurve)
+{
+    // The paper's claim: same QPS at the same p50/p99 requirement.
+    for (double qps : {10'000.0, 25'000.0, 40'000.0, 45'000.0}) {
+        auto base = runMemcached(Protection::None, qps);
+        auto prot = runMemcached(Protection::Siopmp, qps);
+        EXPECT_NEAR(prot.p50_us, base.p50_us, base.p50_us * 0.02 + 1.0)
+            << qps;
+        EXPECT_NEAR(prot.p99_us, base.p99_us, base.p99_us * 0.02 + 1.0)
+            << qps;
+    }
+}
+
+TEST(Fig16, StrictIommuVisiblyWorseNearKnee)
+{
+    // Contrast case: a protection scheme with real per-request cost
+    // shifts the saturation knee; sIOPMP must not. Right at the knee
+    // even a sub-microsecond service inflation is magnified by
+    // queueing (utilization moves closer to 1).
+    auto base = runMemcached(Protection::None, 48'500);
+    auto strict = runMemcached(Protection::IommuStrict, 48'500);
+    EXPECT_GT(strict.p99_us, base.p99_us * 1.05);
+    // And at the same point, sIOPMP stays indistinguishable.
+    auto prot = runMemcached(Protection::Siopmp, 48'500);
+    EXPECT_LT(prot.p99_us, base.p99_us * 1.02);
+}
+
+TEST(Fig16, DeterministicForSameSeed)
+{
+    auto a = runMemcached(Protection::None, 30'000);
+    auto b = runMemcached(Protection::None, 30'000);
+    EXPECT_DOUBLE_EQ(a.p50_us, b.p50_us);
+    EXPECT_DOUBLE_EQ(a.p99_us, b.p99_us);
+}
+
+TEST(Fig16, SweepIsMonotoneInOfferedLoad)
+{
+    auto sweep = runMemcachedSweep(Protection::None, 5'000, 45'000, 5);
+    ASSERT_EQ(sweep.size(), 5u);
+    for (std::size_t i = 1; i < sweep.size(); ++i) {
+        EXPECT_GT(sweep[i].offered_qps, sweep[i - 1].offered_qps);
+        EXPECT_GE(sweep[i].p99_us, sweep[i - 1].p99_us * 0.95);
+    }
+}
+
+TEST(Fig16, AchievedTracksOfferedBelowSaturation)
+{
+    auto point = runMemcached(Protection::None, 20'000);
+    EXPECT_NEAR(point.achieved_qps, 20'000, 20'000 * 0.1);
+}
+
+} // namespace
+} // namespace wl
+} // namespace siopmp

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * siopmp-cli: command-line driver for the simulator's experiment
+ * runners. Lets a user poke at any configuration point without
+ * writing code:
+ *
+ *   siopmp-cli latency   [--stages N] [--policy be|mask] [--write]
+ *                        [--violating] [--bursts N]
+ *   siopmp-cli bandwidth [--scenario rr|rw|ww] [--stages N]
+ *                        [--outstanding N]
+ *   siopmp-cli network   [--tx] [--cores N] [--packets N]
+ *   siopmp-cli memcached [--qps X] [--scheme none|siopmp|strict]
+ *   siopmp-cli hotcold   [--ratio N] [--mismatched] [--bursts N]
+ *   siopmp-cli freq      [--entries N] [--stages N] [--kind lin|tree]
+ *                        [--arity N]
+ *
+ * Every command prints a single result line plus the key parameters,
+ * suitable for scripting sweeps.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "timing/frequency.hh"
+#include "timing/resource.hh"
+#include "workloads/hotcold.hh"
+#include "workloads/memcached.hh"
+#include "workloads/network.hh"
+#include "workloads/traffic.hh"
+
+using namespace siopmp;
+
+namespace {
+
+/** Tiny flag parser: --name value / --name (boolean). */
+class Args
+{
+  public:
+    Args(int argc, char **argv)
+    {
+        for (int i = 2; i < argc; ++i)
+            tokens_.emplace_back(argv[i]);
+    }
+
+    bool
+    flag(const char *name) const
+    {
+        for (const auto &token : tokens_) {
+            if (token == name)
+                return true;
+        }
+        return false;
+    }
+
+    std::string
+    value(const char *name, const std::string &fallback) const
+    {
+        for (std::size_t i = 0; i + 1 < tokens_.size(); ++i) {
+            if (tokens_[i] == name)
+                return tokens_[i + 1];
+        }
+        return fallback;
+    }
+
+    long
+    number(const char *name, long fallback) const
+    {
+        const std::string v = value(name, "");
+        return v.empty() ? fallback : std::atol(v.c_str());
+    }
+
+  private:
+    std::vector<std::string> tokens_;
+};
+
+int
+cmdLatency(const Args &args)
+{
+    wl::BurstLatencyConfig cfg;
+    cfg.stages = static_cast<unsigned>(args.number("--stages", 2));
+    cfg.policy = args.value("--policy", "be") == "mask"
+                     ? iopmp::ViolationPolicy::PacketMasking
+                     : iopmp::ViolationPolicy::BusError;
+    cfg.write = args.flag("--write");
+    cfg.violating = args.flag("--violating");
+    cfg.bursts = static_cast<unsigned>(args.number("--bursts", 64));
+    const Cycle cycles = wl::runBurstLatency(cfg);
+    std::printf("latency: %llu cycles (%u bursts, %u stages, %s, %s%s)\n",
+                static_cast<unsigned long long>(cycles), cfg.bursts,
+                cfg.stages, iopmp::violationPolicyName(cfg.policy),
+                cfg.write ? "write" : "read",
+                cfg.violating ? ", violating" : "");
+    return 0;
+}
+
+int
+cmdBandwidth(const Args &args)
+{
+    wl::BandwidthConfig cfg;
+    const std::string scenario = args.value("--scenario", "rr");
+    cfg.scenario = scenario == "ww" ? wl::BandwidthScenario::WriteWrite
+                   : scenario == "rw" ? wl::BandwidthScenario::ReadWrite
+                                      : wl::BandwidthScenario::ReadRead;
+    cfg.stages = static_cast<unsigned>(args.number("--stages", 2));
+    cfg.max_outstanding =
+        static_cast<unsigned>(args.number("--outstanding", 8));
+    const double bpc = wl::runBandwidth(cfg);
+    std::printf("bandwidth: %.2f bytes/cycle (%s, %u stages, %u "
+                "outstanding)\n",
+                bpc, scenario.c_str(), cfg.stages, cfg.max_outstanding);
+    return 0;
+}
+
+int
+cmdNetwork(const Args &args)
+{
+    wl::NetworkConfig cfg;
+    cfg.rx = !args.flag("--tx");
+    cfg.cores = static_cast<unsigned>(args.number("--cores", 1));
+    cfg.packets = static_cast<unsigned>(args.number("--packets", 10000));
+    std::printf("network (%s, %u core%s):\n", cfg.rx ? "RX" : "TX",
+                cfg.cores, cfg.cores == 1 ? "" : "s");
+    for (const auto &result : wl::runNetworkSweep(cfg)) {
+        std::printf("  %-16s %6.1f%%%s\n",
+                    wl::protectionName(result.scheme),
+                    result.throughput_pct,
+                    result.attack_window ? "  [attack window OPEN]" : "");
+    }
+    return 0;
+}
+
+int
+cmdMemcached(const Args &args)
+{
+    const double qps = static_cast<double>(args.number("--qps", 30000));
+    const std::string scheme_name = args.value("--scheme", "siopmp");
+    const wl::Protection scheme =
+        scheme_name == "none" ? wl::Protection::None
+        : scheme_name == "strict" ? wl::Protection::IommuStrict
+                                  : wl::Protection::Siopmp;
+    const auto point = wl::runMemcached(scheme, qps);
+    std::printf("memcached @%0.f QPS (%s): p50=%.0fus p99=%.0fus "
+                "achieved=%.0f\n",
+                qps, scheme_name.c_str(), point.p50_us, point.p99_us,
+                point.achieved_qps);
+    return 0;
+}
+
+int
+cmdHotCold(const Args &args)
+{
+    wl::HotColdConfig cfg;
+    cfg.ratio = static_cast<unsigned>(args.number("--ratio", 100));
+    cfg.matched = !args.flag("--mismatched");
+    cfg.hot_bursts =
+        static_cast<unsigned>(args.number("--bursts", 2000));
+    const auto result = wl::runHotCold(cfg);
+    std::printf("hotcold 1:%u (%s): hot throughput %.1f%%, %llu SID "
+                "misses, switch cost %llu cycles\n",
+                cfg.ratio, cfg.matched ? "matched" : "mismatched",
+                result.hot_throughput_pct,
+                static_cast<unsigned long long>(result.sid_misses),
+                static_cast<unsigned long long>(wl::coldSwitchCost(8)));
+    return 0;
+}
+
+int
+cmdFreq(const Args &args)
+{
+    timing::CheckerGeometry geometry;
+    geometry.entries = static_cast<unsigned>(args.number("--entries", 1024));
+    geometry.stages = static_cast<unsigned>(args.number("--stages", 3));
+    geometry.arity = static_cast<unsigned>(args.number("--arity", 2));
+    const std::string kind = args.value("--kind", "tree");
+    geometry.kind = kind == "lin"
+                        ? (geometry.stages > 1
+                               ? iopmp::CheckerKind::PipelineLinear
+                               : iopmp::CheckerKind::Linear)
+                        : (geometry.stages > 1
+                               ? iopmp::CheckerKind::PipelineTree
+                               : iopmp::CheckerKind::Tree);
+    const double mhz = timing::achievableFrequencyMhz(geometry);
+    const auto usage = timing::estimateResources(geometry);
+    std::printf("freq: %s @ %u entries, %u stages, arity %u -> ",
+                kind.c_str(), geometry.entries, geometry.stages,
+                geometry.arity);
+    if (mhz <= 0.0)
+        std::printf("FAILS timing; ");
+    else
+        std::printf("%.1f MHz; ", mhz);
+    std::printf("%.2f%% LUT, %.2f%% FF\n", usage.lut_pct, usage.ff_pct);
+    return 0;
+}
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: siopmp-cli <latency|bandwidth|network|memcached|"
+                 "hotcold|freq> [flags]\n"
+                 "run with a command and no flags for sane defaults; see "
+                 "the file header for flags.\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 2;
+    }
+    const std::string cmd = argv[1];
+    const Args args(argc, argv);
+    if (cmd == "latency")
+        return cmdLatency(args);
+    if (cmd == "bandwidth")
+        return cmdBandwidth(args);
+    if (cmd == "network")
+        return cmdNetwork(args);
+    if (cmd == "memcached")
+        return cmdMemcached(args);
+    if (cmd == "hotcold")
+        return cmdHotCold(args);
+    if (cmd == "freq")
+        return cmdFreq(args);
+    usage();
+    return 2;
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_scatter_gather.dir/ablation_scatter_gather.cc.o"
+  "CMakeFiles/ablation_scatter_gather.dir/ablation_scatter_gather.cc.o.d"
+  "ablation_scatter_gather"
+  "ablation_scatter_gather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_scatter_gather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

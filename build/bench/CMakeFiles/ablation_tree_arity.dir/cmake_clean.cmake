@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tree_arity.dir/ablation_tree_arity.cc.o"
+  "CMakeFiles/ablation_tree_arity.dir/ablation_tree_arity.cc.o.d"
+  "ablation_tree_arity"
+  "ablation_tree_arity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tree_arity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

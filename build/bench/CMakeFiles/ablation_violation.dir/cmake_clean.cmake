@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_violation.dir/ablation_violation.cc.o"
+  "CMakeFiles/ablation_violation.dir/ablation_violation.cc.o.d"
+  "ablation_violation"
+  "ablation_violation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_violation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checker_micro.dir/checker_micro.cc.o"
+  "CMakeFiles/checker_micro.dir/checker_micro.cc.o.d"
+  "checker_micro"
+  "checker_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checker_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

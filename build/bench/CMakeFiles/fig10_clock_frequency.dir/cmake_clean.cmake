@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_clock_frequency.dir/fig10_clock_frequency.cc.o"
+  "CMakeFiles/fig10_clock_frequency.dir/fig10_clock_frequency.cc.o.d"
+  "fig10_clock_frequency"
+  "fig10_clock_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_clock_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

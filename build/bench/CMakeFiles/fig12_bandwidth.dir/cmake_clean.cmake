@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_bandwidth.dir/fig12_bandwidth.cc.o"
+  "CMakeFiles/fig12_bandwidth.dir/fig12_bandwidth.cc.o.d"
+  "fig12_bandwidth"
+  "fig12_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

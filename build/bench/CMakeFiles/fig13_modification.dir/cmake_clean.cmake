@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_modification.dir/fig13_modification.cc.o"
+  "CMakeFiles/fig13_modification.dir/fig13_modification.cc.o.d"
+  "fig13_modification"
+  "fig13_modification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_modification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

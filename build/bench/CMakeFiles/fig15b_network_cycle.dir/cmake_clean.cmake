@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15b_network_cycle.dir/fig15b_network_cycle.cc.o"
+  "CMakeFiles/fig15b_network_cycle.dir/fig15b_network_cycle.cc.o.d"
+  "fig15b_network_cycle"
+  "fig15b_network_cycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15b_network_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

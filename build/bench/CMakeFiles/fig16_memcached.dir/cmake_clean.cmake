@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_memcached.dir/fig16_memcached.cc.o"
+  "CMakeFiles/fig16_memcached.dir/fig16_memcached.cc.o.d"
+  "fig16_memcached"
+  "fig16_memcached.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_memcached.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_coldswitch.dir/fig17_coldswitch.cc.o"
+  "CMakeFiles/fig17_coldswitch.dir/fig17_coldswitch.cc.o.d"
+  "fig17_coldswitch"
+  "fig17_coldswitch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_coldswitch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dma_attack_demo.dir/dma_attack_demo.cpp.o"
+  "CMakeFiles/dma_attack_demo.dir/dma_attack_demo.cpp.o.d"
+  "dma_attack_demo"
+  "dma_attack_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dma_attack_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

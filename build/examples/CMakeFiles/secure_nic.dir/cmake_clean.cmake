@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_nic.dir/secure_nic.cpp.o"
+  "CMakeFiles/secure_nic.dir/secure_nic.cpp.o.d"
+  "secure_nic"
+  "secure_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

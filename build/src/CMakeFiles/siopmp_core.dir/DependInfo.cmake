@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bus/error_node.cc" "src/CMakeFiles/siopmp_core.dir/bus/error_node.cc.o" "gcc" "src/CMakeFiles/siopmp_core.dir/bus/error_node.cc.o.d"
+  "/root/repo/src/bus/monitor.cc" "src/CMakeFiles/siopmp_core.dir/bus/monitor.cc.o" "gcc" "src/CMakeFiles/siopmp_core.dir/bus/monitor.cc.o.d"
+  "/root/repo/src/bus/packet.cc" "src/CMakeFiles/siopmp_core.dir/bus/packet.cc.o" "gcc" "src/CMakeFiles/siopmp_core.dir/bus/packet.cc.o.d"
+  "/root/repo/src/bus/xbar.cc" "src/CMakeFiles/siopmp_core.dir/bus/xbar.cc.o" "gcc" "src/CMakeFiles/siopmp_core.dir/bus/xbar.cc.o.d"
+  "/root/repo/src/devices/accelerator.cc" "src/CMakeFiles/siopmp_core.dir/devices/accelerator.cc.o" "gcc" "src/CMakeFiles/siopmp_core.dir/devices/accelerator.cc.o.d"
+  "/root/repo/src/devices/device.cc" "src/CMakeFiles/siopmp_core.dir/devices/device.cc.o" "gcc" "src/CMakeFiles/siopmp_core.dir/devices/device.cc.o.d"
+  "/root/repo/src/devices/dma_engine.cc" "src/CMakeFiles/siopmp_core.dir/devices/dma_engine.cc.o" "gcc" "src/CMakeFiles/siopmp_core.dir/devices/dma_engine.cc.o.d"
+  "/root/repo/src/devices/malicious.cc" "src/CMakeFiles/siopmp_core.dir/devices/malicious.cc.o" "gcc" "src/CMakeFiles/siopmp_core.dir/devices/malicious.cc.o.d"
+  "/root/repo/src/devices/nic.cc" "src/CMakeFiles/siopmp_core.dir/devices/nic.cc.o" "gcc" "src/CMakeFiles/siopmp_core.dir/devices/nic.cc.o.d"
+  "/root/repo/src/fw/cap_space.cc" "src/CMakeFiles/siopmp_core.dir/fw/cap_space.cc.o" "gcc" "src/CMakeFiles/siopmp_core.dir/fw/cap_space.cc.o.d"
+  "/root/repo/src/fw/capability.cc" "src/CMakeFiles/siopmp_core.dir/fw/capability.cc.o" "gcc" "src/CMakeFiles/siopmp_core.dir/fw/capability.cc.o.d"
+  "/root/repo/src/fw/interrupt_ctrl.cc" "src/CMakeFiles/siopmp_core.dir/fw/interrupt_ctrl.cc.o" "gcc" "src/CMakeFiles/siopmp_core.dir/fw/interrupt_ctrl.cc.o.d"
+  "/root/repo/src/fw/monitor.cc" "src/CMakeFiles/siopmp_core.dir/fw/monitor.cc.o" "gcc" "src/CMakeFiles/siopmp_core.dir/fw/monitor.cc.o.d"
+  "/root/repo/src/fw/pmp.cc" "src/CMakeFiles/siopmp_core.dir/fw/pmp.cc.o" "gcc" "src/CMakeFiles/siopmp_core.dir/fw/pmp.cc.o.d"
+  "/root/repo/src/fw/smode_driver.cc" "src/CMakeFiles/siopmp_core.dir/fw/smode_driver.cc.o" "gcc" "src/CMakeFiles/siopmp_core.dir/fw/smode_driver.cc.o.d"
+  "/root/repo/src/fw/tee.cc" "src/CMakeFiles/siopmp_core.dir/fw/tee.cc.o" "gcc" "src/CMakeFiles/siopmp_core.dir/fw/tee.cc.o.d"
+  "/root/repo/src/iommu/cmd_queue.cc" "src/CMakeFiles/siopmp_core.dir/iommu/cmd_queue.cc.o" "gcc" "src/CMakeFiles/siopmp_core.dir/iommu/cmd_queue.cc.o.d"
+  "/root/repo/src/iommu/iommu.cc" "src/CMakeFiles/siopmp_core.dir/iommu/iommu.cc.o" "gcc" "src/CMakeFiles/siopmp_core.dir/iommu/iommu.cc.o.d"
+  "/root/repo/src/iommu/iommu_node.cc" "src/CMakeFiles/siopmp_core.dir/iommu/iommu_node.cc.o" "gcc" "src/CMakeFiles/siopmp_core.dir/iommu/iommu_node.cc.o.d"
+  "/root/repo/src/iommu/iotlb.cc" "src/CMakeFiles/siopmp_core.dir/iommu/iotlb.cc.o" "gcc" "src/CMakeFiles/siopmp_core.dir/iommu/iotlb.cc.o.d"
+  "/root/repo/src/iommu/iova.cc" "src/CMakeFiles/siopmp_core.dir/iommu/iova.cc.o" "gcc" "src/CMakeFiles/siopmp_core.dir/iommu/iova.cc.o.d"
+  "/root/repo/src/iommu/page_table.cc" "src/CMakeFiles/siopmp_core.dir/iommu/page_table.cc.o" "gcc" "src/CMakeFiles/siopmp_core.dir/iommu/page_table.cc.o.d"
+  "/root/repo/src/iommu/rmp.cc" "src/CMakeFiles/siopmp_core.dir/iommu/rmp.cc.o" "gcc" "src/CMakeFiles/siopmp_core.dir/iommu/rmp.cc.o.d"
+  "/root/repo/src/iopmp/block.cc" "src/CMakeFiles/siopmp_core.dir/iopmp/block.cc.o" "gcc" "src/CMakeFiles/siopmp_core.dir/iopmp/block.cc.o.d"
+  "/root/repo/src/iopmp/checker.cc" "src/CMakeFiles/siopmp_core.dir/iopmp/checker.cc.o" "gcc" "src/CMakeFiles/siopmp_core.dir/iopmp/checker.cc.o.d"
+  "/root/repo/src/iopmp/checker_node.cc" "src/CMakeFiles/siopmp_core.dir/iopmp/checker_node.cc.o" "gcc" "src/CMakeFiles/siopmp_core.dir/iopmp/checker_node.cc.o.d"
+  "/root/repo/src/iopmp/entry.cc" "src/CMakeFiles/siopmp_core.dir/iopmp/entry.cc.o" "gcc" "src/CMakeFiles/siopmp_core.dir/iopmp/entry.cc.o.d"
+  "/root/repo/src/iopmp/linear_checker.cc" "src/CMakeFiles/siopmp_core.dir/iopmp/linear_checker.cc.o" "gcc" "src/CMakeFiles/siopmp_core.dir/iopmp/linear_checker.cc.o.d"
+  "/root/repo/src/iopmp/mountable.cc" "src/CMakeFiles/siopmp_core.dir/iopmp/mountable.cc.o" "gcc" "src/CMakeFiles/siopmp_core.dir/iopmp/mountable.cc.o.d"
+  "/root/repo/src/iopmp/pipelined_checker.cc" "src/CMakeFiles/siopmp_core.dir/iopmp/pipelined_checker.cc.o" "gcc" "src/CMakeFiles/siopmp_core.dir/iopmp/pipelined_checker.cc.o.d"
+  "/root/repo/src/iopmp/remap_cam.cc" "src/CMakeFiles/siopmp_core.dir/iopmp/remap_cam.cc.o" "gcc" "src/CMakeFiles/siopmp_core.dir/iopmp/remap_cam.cc.o.d"
+  "/root/repo/src/iopmp/siopmp.cc" "src/CMakeFiles/siopmp_core.dir/iopmp/siopmp.cc.o" "gcc" "src/CMakeFiles/siopmp_core.dir/iopmp/siopmp.cc.o.d"
+  "/root/repo/src/iopmp/tables.cc" "src/CMakeFiles/siopmp_core.dir/iopmp/tables.cc.o" "gcc" "src/CMakeFiles/siopmp_core.dir/iopmp/tables.cc.o.d"
+  "/root/repo/src/iopmp/tree_checker.cc" "src/CMakeFiles/siopmp_core.dir/iopmp/tree_checker.cc.o" "gcc" "src/CMakeFiles/siopmp_core.dir/iopmp/tree_checker.cc.o.d"
+  "/root/repo/src/iopmp/violation.cc" "src/CMakeFiles/siopmp_core.dir/iopmp/violation.cc.o" "gcc" "src/CMakeFiles/siopmp_core.dir/iopmp/violation.cc.o.d"
+  "/root/repo/src/mem/memmap.cc" "src/CMakeFiles/siopmp_core.dir/mem/memmap.cc.o" "gcc" "src/CMakeFiles/siopmp_core.dir/mem/memmap.cc.o.d"
+  "/root/repo/src/mem/memory.cc" "src/CMakeFiles/siopmp_core.dir/mem/memory.cc.o" "gcc" "src/CMakeFiles/siopmp_core.dir/mem/memory.cc.o.d"
+  "/root/repo/src/mem/mmio.cc" "src/CMakeFiles/siopmp_core.dir/mem/mmio.cc.o" "gcc" "src/CMakeFiles/siopmp_core.dir/mem/mmio.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/siopmp_core.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/siopmp_core.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/CMakeFiles/siopmp_core.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/siopmp_core.dir/sim/logging.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/siopmp_core.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/siopmp_core.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/siopmp_core.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/siopmp_core.dir/sim/stats.cc.o.d"
+  "/root/repo/src/soc/cpu_node.cc" "src/CMakeFiles/siopmp_core.dir/soc/cpu_node.cc.o" "gcc" "src/CMakeFiles/siopmp_core.dir/soc/cpu_node.cc.o.d"
+  "/root/repo/src/soc/soc.cc" "src/CMakeFiles/siopmp_core.dir/soc/soc.cc.o" "gcc" "src/CMakeFiles/siopmp_core.dir/soc/soc.cc.o.d"
+  "/root/repo/src/swio/bounce.cc" "src/CMakeFiles/siopmp_core.dir/swio/bounce.cc.o" "gcc" "src/CMakeFiles/siopmp_core.dir/swio/bounce.cc.o.d"
+  "/root/repo/src/timing/frequency.cc" "src/CMakeFiles/siopmp_core.dir/timing/frequency.cc.o" "gcc" "src/CMakeFiles/siopmp_core.dir/timing/frequency.cc.o.d"
+  "/root/repo/src/timing/gate_model.cc" "src/CMakeFiles/siopmp_core.dir/timing/gate_model.cc.o" "gcc" "src/CMakeFiles/siopmp_core.dir/timing/gate_model.cc.o.d"
+  "/root/repo/src/timing/resource.cc" "src/CMakeFiles/siopmp_core.dir/timing/resource.cc.o" "gcc" "src/CMakeFiles/siopmp_core.dir/timing/resource.cc.o.d"
+  "/root/repo/src/workloads/hotcold.cc" "src/CMakeFiles/siopmp_core.dir/workloads/hotcold.cc.o" "gcc" "src/CMakeFiles/siopmp_core.dir/workloads/hotcold.cc.o.d"
+  "/root/repo/src/workloads/memcached.cc" "src/CMakeFiles/siopmp_core.dir/workloads/memcached.cc.o" "gcc" "src/CMakeFiles/siopmp_core.dir/workloads/memcached.cc.o.d"
+  "/root/repo/src/workloads/network.cc" "src/CMakeFiles/siopmp_core.dir/workloads/network.cc.o" "gcc" "src/CMakeFiles/siopmp_core.dir/workloads/network.cc.o.d"
+  "/root/repo/src/workloads/traffic.cc" "src/CMakeFiles/siopmp_core.dir/workloads/traffic.cc.o" "gcc" "src/CMakeFiles/siopmp_core.dir/workloads/traffic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsiopmp_core.a"
+)

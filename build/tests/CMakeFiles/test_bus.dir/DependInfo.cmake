@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bus/error_node_test.cc" "tests/CMakeFiles/test_bus.dir/bus/error_node_test.cc.o" "gcc" "tests/CMakeFiles/test_bus.dir/bus/error_node_test.cc.o.d"
+  "/root/repo/tests/bus/fifo_test.cc" "tests/CMakeFiles/test_bus.dir/bus/fifo_test.cc.o" "gcc" "tests/CMakeFiles/test_bus.dir/bus/fifo_test.cc.o.d"
+  "/root/repo/tests/bus/monitor_test.cc" "tests/CMakeFiles/test_bus.dir/bus/monitor_test.cc.o" "gcc" "tests/CMakeFiles/test_bus.dir/bus/monitor_test.cc.o.d"
+  "/root/repo/tests/bus/packet_test.cc" "tests/CMakeFiles/test_bus.dir/bus/packet_test.cc.o" "gcc" "tests/CMakeFiles/test_bus.dir/bus/packet_test.cc.o.d"
+  "/root/repo/tests/bus/xbar_test.cc" "tests/CMakeFiles/test_bus.dir/bus/xbar_test.cc.o" "gcc" "tests/CMakeFiles/test_bus.dir/bus/xbar_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/siopmp_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_checker_node.dir/iopmp/checker_node_test.cc.o"
+  "CMakeFiles/test_checker_node.dir/iopmp/checker_node_test.cc.o.d"
+  "test_checker_node"
+  "test_checker_node.pdb"
+  "test_checker_node[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_checker_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fw/cap_space_test.cc" "tests/CMakeFiles/test_fw.dir/fw/cap_space_test.cc.o" "gcc" "tests/CMakeFiles/test_fw.dir/fw/cap_space_test.cc.o.d"
+  "/root/repo/tests/fw/interrupt_ctrl_test.cc" "tests/CMakeFiles/test_fw.dir/fw/interrupt_ctrl_test.cc.o" "gcc" "tests/CMakeFiles/test_fw.dir/fw/interrupt_ctrl_test.cc.o.d"
+  "/root/repo/tests/fw/monitor_fuzz_test.cc" "tests/CMakeFiles/test_fw.dir/fw/monitor_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/test_fw.dir/fw/monitor_fuzz_test.cc.o.d"
+  "/root/repo/tests/fw/monitor_sg_test.cc" "tests/CMakeFiles/test_fw.dir/fw/monitor_sg_test.cc.o" "gcc" "tests/CMakeFiles/test_fw.dir/fw/monitor_sg_test.cc.o.d"
+  "/root/repo/tests/fw/monitor_test.cc" "tests/CMakeFiles/test_fw.dir/fw/monitor_test.cc.o" "gcc" "tests/CMakeFiles/test_fw.dir/fw/monitor_test.cc.o.d"
+  "/root/repo/tests/fw/pmp_test.cc" "tests/CMakeFiles/test_fw.dir/fw/pmp_test.cc.o" "gcc" "tests/CMakeFiles/test_fw.dir/fw/pmp_test.cc.o.d"
+  "/root/repo/tests/fw/smode_driver_test.cc" "tests/CMakeFiles/test_fw.dir/fw/smode_driver_test.cc.o" "gcc" "tests/CMakeFiles/test_fw.dir/fw/smode_driver_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/siopmp_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

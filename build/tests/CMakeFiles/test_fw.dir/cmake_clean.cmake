@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fw.dir/fw/cap_space_test.cc.o"
+  "CMakeFiles/test_fw.dir/fw/cap_space_test.cc.o.d"
+  "CMakeFiles/test_fw.dir/fw/interrupt_ctrl_test.cc.o"
+  "CMakeFiles/test_fw.dir/fw/interrupt_ctrl_test.cc.o.d"
+  "CMakeFiles/test_fw.dir/fw/monitor_fuzz_test.cc.o"
+  "CMakeFiles/test_fw.dir/fw/monitor_fuzz_test.cc.o.d"
+  "CMakeFiles/test_fw.dir/fw/monitor_sg_test.cc.o"
+  "CMakeFiles/test_fw.dir/fw/monitor_sg_test.cc.o.d"
+  "CMakeFiles/test_fw.dir/fw/monitor_test.cc.o"
+  "CMakeFiles/test_fw.dir/fw/monitor_test.cc.o.d"
+  "CMakeFiles/test_fw.dir/fw/pmp_test.cc.o"
+  "CMakeFiles/test_fw.dir/fw/pmp_test.cc.o.d"
+  "CMakeFiles/test_fw.dir/fw/smode_driver_test.cc.o"
+  "CMakeFiles/test_fw.dir/fw/smode_driver_test.cc.o.d"
+  "test_fw"
+  "test_fw.pdb"
+  "test_fw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iommu.dir/iommu/cmd_queue_test.cc.o"
+  "CMakeFiles/test_iommu.dir/iommu/cmd_queue_test.cc.o.d"
+  "CMakeFiles/test_iommu.dir/iommu/iommu_node_test.cc.o"
+  "CMakeFiles/test_iommu.dir/iommu/iommu_node_test.cc.o.d"
+  "CMakeFiles/test_iommu.dir/iommu/iommu_test.cc.o"
+  "CMakeFiles/test_iommu.dir/iommu/iommu_test.cc.o.d"
+  "CMakeFiles/test_iommu.dir/iommu/iotlb_test.cc.o"
+  "CMakeFiles/test_iommu.dir/iommu/iotlb_test.cc.o.d"
+  "CMakeFiles/test_iommu.dir/iommu/iova_test.cc.o"
+  "CMakeFiles/test_iommu.dir/iommu/iova_test.cc.o.d"
+  "CMakeFiles/test_iommu.dir/iommu/page_table_test.cc.o"
+  "CMakeFiles/test_iommu.dir/iommu/page_table_test.cc.o.d"
+  "CMakeFiles/test_iommu.dir/iommu/rmp_test.cc.o"
+  "CMakeFiles/test_iommu.dir/iommu/rmp_test.cc.o.d"
+  "test_iommu"
+  "test_iommu.pdb"
+  "test_iommu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iommu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iopmp_checkers.dir/iopmp/checker_property_test.cc.o"
+  "CMakeFiles/test_iopmp_checkers.dir/iopmp/checker_property_test.cc.o.d"
+  "CMakeFiles/test_iopmp_checkers.dir/iopmp/checker_test.cc.o"
+  "CMakeFiles/test_iopmp_checkers.dir/iopmp/checker_test.cc.o.d"
+  "test_iopmp_checkers"
+  "test_iopmp_checkers.pdb"
+  "test_iopmp_checkers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iopmp_checkers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iopmp_structs.dir/iopmp/block_test.cc.o"
+  "CMakeFiles/test_iopmp_structs.dir/iopmp/block_test.cc.o.d"
+  "CMakeFiles/test_iopmp_structs.dir/iopmp/mountable_test.cc.o"
+  "CMakeFiles/test_iopmp_structs.dir/iopmp/mountable_test.cc.o.d"
+  "CMakeFiles/test_iopmp_structs.dir/iopmp/remap_cam_test.cc.o"
+  "CMakeFiles/test_iopmp_structs.dir/iopmp/remap_cam_test.cc.o.d"
+  "CMakeFiles/test_iopmp_structs.dir/iopmp/violation_test.cc.o"
+  "CMakeFiles/test_iopmp_structs.dir/iopmp/violation_test.cc.o.d"
+  "test_iopmp_structs"
+  "test_iopmp_structs.pdb"
+  "test_iopmp_structs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iopmp_structs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iopmp_tables.dir/iopmp/entry_test.cc.o"
+  "CMakeFiles/test_iopmp_tables.dir/iopmp/entry_test.cc.o.d"
+  "CMakeFiles/test_iopmp_tables.dir/iopmp/tables_test.cc.o"
+  "CMakeFiles/test_iopmp_tables.dir/iopmp/tables_test.cc.o.d"
+  "test_iopmp_tables"
+  "test_iopmp_tables.pdb"
+  "test_iopmp_tables[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iopmp_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

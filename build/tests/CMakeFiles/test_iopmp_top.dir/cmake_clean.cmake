@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iopmp_top.dir/iopmp/mmio_fuzz_test.cc.o"
+  "CMakeFiles/test_iopmp_top.dir/iopmp/mmio_fuzz_test.cc.o.d"
+  "CMakeFiles/test_iopmp_top.dir/iopmp/mmio_regmap_test.cc.o"
+  "CMakeFiles/test_iopmp_top.dir/iopmp/mmio_regmap_test.cc.o.d"
+  "CMakeFiles/test_iopmp_top.dir/iopmp/siopmp_test.cc.o"
+  "CMakeFiles/test_iopmp_top.dir/iopmp/siopmp_test.cc.o.d"
+  "test_iopmp_top"
+  "test_iopmp_top.pdb"
+  "test_iopmp_top[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iopmp_top.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

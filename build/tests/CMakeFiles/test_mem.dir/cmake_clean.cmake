@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem.dir/mem/backing_test.cc.o"
+  "CMakeFiles/test_mem.dir/mem/backing_test.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/memmap_test.cc.o"
+  "CMakeFiles/test_mem.dir/mem/memmap_test.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/memory_node_test.cc.o"
+  "CMakeFiles/test_mem.dir/mem/memory_node_test.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/mmio_test.cc.o"
+  "CMakeFiles/test_mem.dir/mem/mmio_test.cc.o.d"
+  "test_mem"
+  "test_mem.pdb"
+  "test_mem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_soc.dir/soc/soc_concurrent_test.cc.o"
+  "CMakeFiles/test_soc.dir/soc/soc_concurrent_test.cc.o.d"
+  "CMakeFiles/test_soc.dir/soc/soc_dma_test.cc.o"
+  "CMakeFiles/test_soc.dir/soc/soc_dma_test.cc.o.d"
+  "CMakeFiles/test_soc.dir/soc/soc_fuzz_test.cc.o"
+  "CMakeFiles/test_soc.dir/soc/soc_fuzz_test.cc.o.d"
+  "CMakeFiles/test_soc.dir/soc/soc_properties_test.cc.o"
+  "CMakeFiles/test_soc.dir/soc/soc_properties_test.cc.o.d"
+  "CMakeFiles/test_soc.dir/soc/soc_violation_test.cc.o"
+  "CMakeFiles/test_soc.dir/soc/soc_violation_test.cc.o.d"
+  "test_soc"
+  "test_soc.pdb"
+  "test_soc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

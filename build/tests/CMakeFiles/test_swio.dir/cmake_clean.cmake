@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_swio.dir/swio/bounce_test.cc.o"
+  "CMakeFiles/test_swio.dir/swio/bounce_test.cc.o.d"
+  "test_swio"
+  "test_swio.pdb"
+  "test_swio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_swio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timing.dir/timing/frequency_test.cc.o"
+  "CMakeFiles/test_timing.dir/timing/frequency_test.cc.o.d"
+  "CMakeFiles/test_timing.dir/timing/gate_model_test.cc.o"
+  "CMakeFiles/test_timing.dir/timing/gate_model_test.cc.o.d"
+  "CMakeFiles/test_timing.dir/timing/resource_test.cc.o"
+  "CMakeFiles/test_timing.dir/timing/resource_test.cc.o.d"
+  "test_timing"
+  "test_timing.pdb"
+  "test_timing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

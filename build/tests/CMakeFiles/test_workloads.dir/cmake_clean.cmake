@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workloads.dir/workloads/hotcold_test.cc.o"
+  "CMakeFiles/test_workloads.dir/workloads/hotcold_test.cc.o.d"
+  "CMakeFiles/test_workloads.dir/workloads/memcached_test.cc.o"
+  "CMakeFiles/test_workloads.dir/workloads/memcached_test.cc.o.d"
+  "CMakeFiles/test_workloads.dir/workloads/network_test.cc.o"
+  "CMakeFiles/test_workloads.dir/workloads/network_test.cc.o.d"
+  "CMakeFiles/test_workloads.dir/workloads/traffic_test.cc.o"
+  "CMakeFiles/test_workloads.dir/workloads/traffic_test.cc.o.d"
+  "test_workloads"
+  "test_workloads.pdb"
+  "test_workloads[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_bus[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_iopmp_tables[1]_include.cmake")
+include("/root/repo/build/tests/test_iopmp_checkers[1]_include.cmake")
+include("/root/repo/build/tests/test_iopmp_structs[1]_include.cmake")
+include("/root/repo/build/tests/test_iopmp_top[1]_include.cmake")
+include("/root/repo/build/tests/test_timing[1]_include.cmake")
+include("/root/repo/build/tests/test_soc[1]_include.cmake")
+include("/root/repo/build/tests/test_iommu[1]_include.cmake")
+include("/root/repo/build/tests/test_swio[1]_include.cmake")
+include("/root/repo/build/tests/test_fw[1]_include.cmake")
+include("/root/repo/build/tests/test_devices[1]_include.cmake")
+include("/root/repo/build/tests/test_checker_node[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/siopmp-cli.dir/siopmp_cli.cc.o"
+  "CMakeFiles/siopmp-cli.dir/siopmp_cli.cc.o.d"
+  "siopmp-cli"
+  "siopmp-cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/siopmp-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

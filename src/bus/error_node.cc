@@ -13,6 +13,13 @@ namespace bus {
 ErrorNode::ErrorNode(std::string name, Link *up)
     : Tickable(std::move(name)), up_(up), stats_(this->name())
 {
+    up_->a.bindWake(this);
+}
+
+bool
+ErrorNode::quiescent(Cycle) const
+{
+    return up_->a.empty();
 }
 
 void

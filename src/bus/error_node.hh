@@ -26,6 +26,7 @@ class ErrorNode : public Tickable
 
     void evaluate(Cycle now) override;
     void advance(Cycle now) override;
+    bool quiescent(Cycle now) const override;
 
     std::uint64_t errorsGenerated() const { return errors_; }
 

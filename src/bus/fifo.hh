@@ -9,6 +9,11 @@
  * snapshot taken at the last clock edge, so a producer cannot observe a
  * pop that happened earlier in the same cycle. This is exactly the
  * behaviour of a ready/valid skid buffer with registered ready.
+ *
+ * Wake-on-push: the consumer component may bind itself with bindWake();
+ * every push() then re-arms it on the simulator's active set, which is
+ * what lets a quiescent consumer sleep between transfers without ever
+ * missing an incoming beat (see sim/tickable.hh).
  */
 
 #ifndef BUS_FIFO_HH
@@ -18,6 +23,7 @@
 #include <deque>
 
 #include "sim/logging.hh"
+#include "sim/tickable.hh"
 
 namespace siopmp {
 namespace bus {
@@ -44,7 +50,13 @@ class Fifo
     {
         SIOPMP_ASSERT(canPush(), "push on full fifo");
         staged_.push_back(item);
+        if (wake_ != nullptr)
+            wake_->wake();
     }
+
+    /** Bind the consumer component woken by every push (may be null to
+     * unbind). Survives reset(): it is wiring, not state. */
+    void bindWake(Tickable *consumer) { wake_ = consumer; }
 
     /** True iff the consumer can pop this cycle. */
     bool empty() const { return ready_.empty(); }
@@ -99,6 +111,7 @@ class Fifo
     std::deque<T> ready_;
     std::deque<T> staged_;
     std::size_t snapshot_ = 0;
+    Tickable *wake_ = nullptr;
 };
 
 } // namespace bus

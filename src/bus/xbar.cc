@@ -19,6 +19,24 @@ Xbar::Xbar(std::string name, std::vector<Link *> uplinks, Link *downlink)
       stats_(this->name())
 {
     SIOPMP_ASSERT(!up_.empty() && down_ != nullptr, "xbar needs ports");
+    for (auto *link : up_)
+        link->a.bindWake(this);
+    down_->d.bindWake(this);
+}
+
+bool
+Xbar::quiescent(Cycle) const
+{
+    // No beats to forward in either direction. A mid-flight burst lock
+    // with empty channels is still a no-op: the lock only matters once
+    // the granted master pushes its next beat, which wakes us.
+    if (!down_->d.empty())
+        return false;
+    for (const auto *link : up_) {
+        if (!link->a.empty())
+            return false;
+    }
+    return true;
 }
 
 void

@@ -31,6 +31,7 @@ class Xbar : public Tickable
 
     void evaluate(Cycle now) override;
     void advance(Cycle now) override;
+    bool quiescent(Cycle now) const override;
 
     stats::Group &statsGroup() { return stats_; }
 

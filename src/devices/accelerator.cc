@@ -32,6 +32,16 @@ Accelerator::start(const LayerJob &job, Cycle now)
     accumulator_ = 0;
     outstanding_.clear();
     startTile();
+    wake();
+}
+
+bool
+Accelerator::quiescent(Cycle) const
+{
+    // An active layer keeps the accelerator hot across all phases
+    // (issue stalls, read waits, ack waits); only a finished layer with
+    // drained responses sleeps.
+    return done_ && link_->d.empty();
 }
 
 void

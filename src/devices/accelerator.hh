@@ -43,6 +43,7 @@ class Accelerator : public DmaMaster
 
     void evaluate(Cycle now) override;
     void advance(Cycle now) override;
+    bool quiescent(Cycle now) const override;
 
   private:
     enum class Phase { ReadWeights, ReadInputs, WriteOutput };

@@ -19,6 +19,7 @@ DmaMaster::DmaMaster(std::string name, DeviceId device, bus::Link *link)
       stats_(this->name())
 {
     SIOPMP_ASSERT(link_ != nullptr, "device needs a link");
+    link_->d.bindWake(this);
 }
 
 bool

@@ -45,6 +45,26 @@ DmaEngine::start(const DmaJob &job, Cycle now)
     write_queue_.clear();
     writing_ = false;
     write_beat_ = 0;
+    wake();
+}
+
+bool
+DmaEngine::quiescent(Cycle) const
+{
+    if (!link_->d.empty())
+        return false; // responses to collect
+    if (done_)
+        return true;
+    // Any issuable work keeps the engine hot so it polls through
+    // A-channel backpressure; once everything issued is merely awaiting
+    // responses, the D-channel wake re-arms it.
+    if (writing_ || !write_queue_.empty())
+        return false;
+    if (issued_bytes_ < job_.bytes &&
+        outstanding_.size() < job_.max_outstanding) {
+        return false;
+    }
+    return true;
 }
 
 bool

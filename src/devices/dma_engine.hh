@@ -70,6 +70,7 @@ class DmaEngine : public DmaMaster
 
     void evaluate(Cycle now) override;
     void advance(Cycle now) override;
+    bool quiescent(Cycle now) const override;
 
   private:
     struct Outstanding {

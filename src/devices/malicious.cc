@@ -53,6 +53,16 @@ MaliciousDevice::startAttack(const AttackPlan &plan, Cycle)
         }
         break;
     }
+    wake();
+}
+
+bool
+MaliciousDevice::quiescent(Cycle) const
+{
+    // Outstanding probes are consumed only from the D channel, whose
+    // wake-on-push re-arms the device; unissued probes keep it hot so
+    // it polls through A-channel backpressure.
+    return queue_.empty() && link_->d.empty();
 }
 
 bool

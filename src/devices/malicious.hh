@@ -57,6 +57,7 @@ class MaliciousDevice : public DmaMaster
 
     void evaluate(Cycle now) override;
     void advance(Cycle now) override;
+    bool quiescent(Cycle now) const override;
 
   private:
     struct Probe {

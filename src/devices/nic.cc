@@ -49,6 +49,16 @@ void
 Nic::injectRxPacket(unsigned bytes, std::uint8_t fill)
 {
     rx_pending_packets_.push_back(RxPacket{bytes, fill});
+    wake();
+}
+
+bool
+Nic::quiescent(Cycle) const
+{
+    // Mid-packet wait states keep the NIC hot (conservative: the D wake
+    // would cover them, but polling through stalls is simpler to reason
+    // about); only a truly idle NIC with drained responses sleeps.
+    return idle() && link_->d.empty();
 }
 
 void

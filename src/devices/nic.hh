@@ -51,10 +51,18 @@ class Nic : public DmaMaster
     Nic(std::string name, DeviceId device, bus::Link *link, NicConfig cfg);
 
     /** Driver side: descriptors [tail, tail+count) are ready to send. */
-    void postTx(unsigned count) { tx_posted_ += count; }
+    void postTx(unsigned count)
+    {
+        tx_posted_ += count;
+        wake();
+    }
 
     /** Driver side: RX descriptors available for incoming packets. */
-    void postRx(unsigned count) { rx_posted_ += count; }
+    void postRx(unsigned count)
+    {
+        rx_posted_ += count;
+        wake();
+    }
 
     /** Network side: a packet arrives (payload filled with @p fill). */
     void injectRxPacket(unsigned bytes, std::uint8_t fill = 0xab);
@@ -70,6 +78,7 @@ class Nic : public DmaMaster
 
     void evaluate(Cycle now) override;
     void advance(Cycle now) override;
+    bool quiescent(Cycle now) const override;
 
   private:
     enum class TxState { Idle, FetchDesc, FetchPayload, WriteBack };

@@ -5,6 +5,8 @@
 
 #include "fw/interrupt_ctrl.hh"
 
+#include "sim/tickable.hh"
+
 namespace siopmp {
 namespace fw {
 
@@ -22,6 +24,8 @@ InterruptController::raise(const iopmp::Irq &irq)
 {
     queue_.push_back(irq);
     ++raised_;
+    if (wake_target_ != nullptr)
+        wake_target_->wake();
 }
 
 Cycle

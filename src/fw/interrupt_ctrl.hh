@@ -17,6 +17,9 @@
 #include "sim/types.hh"
 
 namespace siopmp {
+
+class Tickable;
+
 namespace fw {
 
 class InterruptController
@@ -37,6 +40,12 @@ class InterruptController
     void raise(const iopmp::Irq &irq);
 
     /**
+     * Wire the component (typically the CpuNode) that polls pending();
+     * raise() wakes it so it can sleep while no interrupt is latched.
+     */
+    void bindWake(Tickable *target) { wake_target_ = target; }
+
+    /**
      * CPU side: service all pending interrupts at time @p now.
      * @return total CPU cycles consumed (trap entry + handler work).
      */
@@ -49,6 +58,7 @@ class InterruptController
 
   private:
     Cycle trap_cost_;
+    Tickable *wake_target_ = nullptr;
     std::deque<iopmp::Irq> queue_;
     Handler violation_handler_;
     Handler sid_missing_handler_;

@@ -18,6 +18,16 @@ IommuNode::IommuNode(std::string name, bus::Link *up, bus::Link *down,
       stats_(this->name())
 {
     SIOPMP_ASSERT(up_ && down_ && mmu_, "iommu node wiring incomplete");
+    up_->a.bindWake(this);
+    down_->d.bindWake(this);
+}
+
+bool
+IommuNode::quiescent(Cycle) const
+{
+    // Table-walk stalls keep pipe_ non-empty, so the node stays hot
+    // (polling) until every in-flight beat has drained downstream.
+    return up_->a.empty() && pipe_.empty() && down_->d.empty();
 }
 
 void

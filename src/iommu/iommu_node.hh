@@ -35,6 +35,7 @@ class IommuNode : public Tickable
 
     void evaluate(Cycle now) override;
     void advance(Cycle now) override;
+    bool quiescent(Cycle now) const override;
 
     stats::Group &statsGroup() { return stats_; }
 

@@ -29,6 +29,21 @@ CheckerNode::CheckerNode(std::string name, bus::Link *up, bus::Link *down,
         SIOPMP_ASSERT(err_ != nullptr, "bus-error policy needs error link");
     req_pipe_.configure(requestDelay());
     resp_pipe_.configure(responseDelay());
+    up_->a.bindWake(this);
+    down_->d.bindWake(this);
+    if (err_ != nullptr)
+        err_->d.bindWake(this);
+}
+
+bool
+CheckerNode::quiescent(Cycle) const
+{
+    // Stalled beats (SID miss, per-SID block, backpressure) keep the
+    // request pipe non-empty, so the node keeps polling through every
+    // stall — only a genuinely empty checker goes to sleep.
+    return up_->a.empty() && down_->d.empty() &&
+           (err_ == nullptr || err_->d.empty()) && req_pipe_.empty() &&
+           resp_pipe_.empty();
 }
 
 Cycle

@@ -51,6 +51,7 @@ class CheckerNode : public Tickable
 
     void evaluate(Cycle now) override;
     void advance(Cycle now) override;
+    bool quiescent(Cycle now) const override;
 
     ViolationPolicy policy() const { return policy_; }
     void setPolicy(ViolationPolicy policy) { policy_ = policy; }

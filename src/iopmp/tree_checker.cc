@@ -59,15 +59,18 @@ TreeChecker::reduceWindow(const CheckRequest &req, unsigned lo,
     if (lo >= hi)
         return {};
 
-    // Level 0: all leaves evaluate in parallel.
-    std::vector<Verdict> level;
+    // Level 0: all leaves evaluate in parallel. The level buffers are
+    // reused scratch members (allocation-free after warm-up).
+    std::vector<Verdict> &level = scratch_;
+    level.clear();
     level.reserve(hi - lo);
     for (unsigned idx = lo; idx < hi; ++idx)
         level.push_back(leafVerdict(idx, req));
 
     // Reduce arity_ nodes at a time until one verdict remains.
+    std::vector<Verdict> &next = scratch_next_;
     while (level.size() > 1) {
-        std::vector<Verdict> next;
+        next.clear();
         next.reserve((level.size() + arity_ - 1) / arity_);
         for (std::size_t i = 0; i < level.size(); i += arity_) {
             Verdict acc = level[i];

@@ -12,6 +12,8 @@
 #ifndef IOPMP_TREE_CHECKER_HH
 #define IOPMP_TREE_CHECKER_HH
 
+#include <vector>
+
 #include "iopmp/checker.hh"
 
 namespace siopmp {
@@ -55,6 +57,14 @@ class TreeChecker : public CheckerLogic
     static Verdict merge(const Verdict &a, const Verdict &b);
 
     unsigned arity_;
+
+    //! Reusable level buffers for reduceWindow: the reduction is on the
+    //! per-beat hot path, so per-check heap allocation would dominate.
+    //! Consequence: check()/reduceWindow() are not thread-safe and not
+    //! re-entrant (fine for the single-threaded simulator; the
+    //! pipelined checker calls its stage units sequentially).
+    mutable std::vector<Verdict> scratch_;
+    mutable std::vector<Verdict> scratch_next_;
 };
 
 } // namespace iopmp

@@ -5,10 +5,12 @@
 
 #include "mem/memory.hh"
 
+#include <algorithm>
 #include <cstring>
 #include <utility>
 
 #include "sim/logging.hh"
+#include "sim/simulator.hh"
 
 namespace siopmp {
 namespace mem {
@@ -90,6 +92,39 @@ MemoryNode::MemoryNode(std::string name, bus::Link *up, Backing *backing,
       stats_(this->name())
 {
     SIOPMP_ASSERT(up_ && backing_, "memory node needs link and backing");
+    up_->a.bindWake(this);
+}
+
+bool
+MemoryNode::quiescent(Cycle now) const
+{
+    // Quiescent only if no request is waiting and nothing is ready to
+    // issue this cycle. Future-dated work (read latency, write-ack
+    // latency) is covered by the wake armed in evaluate(); a response
+    // blocked on D-channel backpressure has ready_at <= now and keeps
+    // the node hot until it drains.
+    if (!up_->a.empty())
+        return false;
+    if (!acks_.empty() && acks_.front().ready_at <= now)
+        return false;
+    if (!reads_.empty() && reads_.front().first_beat_at <= now)
+        return false;
+    return true;
+}
+
+void
+MemoryNode::armWake(Cycle now)
+{
+    if (simulator() == nullptr)
+        return;
+    Cycle at = kNever;
+    if (!acks_.empty())
+        at = std::min(at, acks_.front().ready_at);
+    if (!reads_.empty())
+        at = std::min(at, reads_.front().first_beat_at);
+    if (at == kNever || at <= now)
+        return; // nothing pending, or work already actionable now
+    simulator()->events().scheduleWake(at, this);
 }
 
 void
@@ -178,6 +213,7 @@ MemoryNode::evaluate(Cycle now)
         acceptRequest(now);
         issueResponse(now);
     }
+    armWake(now);
 }
 
 void

@@ -79,10 +79,15 @@ class MemoryNode : public Tickable
 
     void evaluate(Cycle now) override;
     void advance(Cycle now) override;
+    bool quiescent(Cycle now) const override;
 
     stats::Group &statsGroup() { return stats_; }
 
   private:
+    /** Arm a timed wake when all pending work is in the future, so the
+     * controller can quiesce through its own access latencies. */
+    void armWake(Cycle now);
+
     struct PendingRead {
         bus::Beat req;
         Cycle first_beat_at; //!< cycle the first data beat may issue

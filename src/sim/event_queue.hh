@@ -3,6 +3,18 @@
  * Discrete-event queue keyed by cycle. Events scheduled at the same
  * cycle fire in insertion order (stable), which keeps the simulation
  * deterministic.
+ *
+ * The queue is a hot structure under fast-forward scheduling: every
+ * idle window is bounded by an event, and components re-arm wakes as
+ * often as every cycle. Two allocation-avoidance measures keep it off
+ * the profile:
+ *
+ *  - the heap is an explicit std::vector (reserved up front) driven by
+ *    std::push_heap/std::pop_heap, so firing an event moves the item
+ *    out instead of copying a std::function out of a priority_queue;
+ *  - the common re-arm case — "wake component X at cycle C" — is a
+ *    raw Tickable pointer in the item (scheduleWake()), constructing
+ *    no std::function at all.
  */
 
 #ifndef SIM_EVENT_QUEUE_HH
@@ -10,12 +22,13 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "sim/types.hh"
 
 namespace siopmp {
+
+class Tickable;
 
 /**
  * Time-ordered queue of callbacks. Owned by the Simulator but usable
@@ -31,6 +44,14 @@ class EventQueue
 
     /** Schedule @p cb to run @p delay cycles after now(). */
     void scheduleIn(Cycle delay, Callback cb);
+
+    /**
+     * Schedule a wake of @p target at absolute cycle @p when. This is
+     * the allocation-free re-arm path for quiescent components; firing
+     * calls target->wake(). The target must outlive the event (or the
+     * queue must be reset() first).
+     */
+    void scheduleWake(Cycle when, Tickable *target);
 
     /** Current simulation time. */
     Cycle now() const { return now_; }
@@ -59,8 +80,9 @@ class EventQueue
   private:
     struct Item {
         Cycle when;
-        std::uint64_t seq; // tie-breaker: insertion order
-        Callback cb;
+        std::uint64_t seq;       //!< tie-breaker: insertion order
+        Tickable *wake = nullptr; //!< fast path: wake this component
+        Callback cb;             //!< general path (unused when wake set)
     };
 
     struct Later {
@@ -73,7 +95,13 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Item, std::vector<Item>, Later> heap_;
+    void push(Item &&item);
+    void fireTop();
+
+    //! Binary heap (std::push_heap/std::pop_heap order, earliest at
+    //! front). Explicit vector so storage is reserved and items can be
+    //! moved out on fire.
+    std::vector<Item> heap_;
     Cycle now_ = 0;
     std::uint64_t next_seq_ = 0;
 };

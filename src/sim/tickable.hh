@@ -4,6 +4,27 @@
  * first evaluates combinational outputs (evaluate), then commits state
  * (advance). This mirrors how synchronous RTL behaves and lets ready/
  * valid handshakes resolve within a cycle regardless of tick order.
+ *
+ * Quiescence protocol (fast-forward scheduling): a component may opt in
+ * by overriding quiescent(). Returning true is a promise that both
+ * evaluate() and advance() are exact no-ops at the given cycle AND will
+ * stay no-ops until the component is woken. The simulator then drops
+ * the component from the hot active set and stops ticking it; when all
+ * components are quiescent it fast-forwards time to the next pending
+ * event. A quiescent component is re-armed by:
+ *
+ *  - a push into any bus::Fifo bound to it via Fifo::bindWake()
+ *    (the consumer-side channels it clocks in advance());
+ *  - a timed EventQueue::scheduleWake() the component armed itself
+ *    (e.g. a memory controller waiting out an access latency);
+ *  - an explicit wake() from external code that hands it new work
+ *    (e.g. DmaEngine::start(), Nic::injectRxPacket()).
+ *
+ * Missing a wake deadlocks or — worse — silently diverges from the
+ * naive tick-everything loop, so every path that can turn a no-op
+ * evaluate()/advance() into real work must wake the component. Spurious
+ * wakes are harmless: the simulator re-checks quiescent() after every
+ * ticked cycle. See docs/SIMULATION.md for the full contract.
  */
 
 #ifndef SIM_TICKABLE_HH
@@ -14,6 +35,8 @@
 #include "sim/types.hh"
 
 namespace siopmp {
+
+class Simulator;
 
 /**
  * Base class for clocked components.
@@ -39,10 +62,51 @@ class Tickable
      */
     virtual void advance(Cycle now) = 0;
 
+    /**
+     * True iff evaluate()/advance() are no-ops at cycle @p now and will
+     * remain no-ops until wake() is called (see file header for the
+     * full contract). The default never quiesces, which is always
+     * safe: components that do not opt in are ticked every cycle.
+     */
+    virtual bool
+    quiescent(Cycle now) const
+    {
+        (void)now;
+        return false;
+    }
+
+    /**
+     * Put this component back on the simulator's active set. Safe to
+     * call at any time, from any phase; a no-op when the component is
+     * not registered with a simulator or is already active.
+     */
+    void
+    wake()
+    {
+        if (sim_ != nullptr)
+            wakeSlow();
+    }
+
+    /** Simulator this component is registered with (null if none). */
+    Simulator *simulator() const { return sim_; }
+
+    /** True iff the component is on the simulator's active set. */
+    bool active() const { return active_; }
+
     const std::string &name() const { return name_; }
 
   private:
+    friend class Simulator;
+
+    void wakeSlow();
+
     std::string name_;
+    Simulator *sim_ = nullptr;
+    bool active_ = false;
+    //! Cycle of the last wake; guards retirement in the same cycle so
+    //! a wake during the advance phase (whose cause is still invisible
+    //! to quiescent(), e.g. a staged fifo push) is never lost.
+    Cycle wake_cycle_ = 0;
 };
 
 } // namespace siopmp

@@ -17,6 +17,16 @@ CpuNode::CpuNode(std::string name, fw::SecureMonitor *monitor,
     : Tickable(std::move(name)), monitor_(monitor), unit_(unit), sim_(sim)
 {
     SIOPMP_ASSERT(monitor_ && unit_ && sim_, "cpu node wiring incomplete");
+    monitor_->irqController().bindWake(this);
+}
+
+bool
+CpuNode::quiescent(Cycle) const
+{
+    // A pending interrupt keeps the CPU hot even while busy_until_
+    // holds it inside the previous handler — it must poll until the
+    // handler retires and the next interrupt can be serviced.
+    return !monitor_->irqController().pending();
 }
 
 void

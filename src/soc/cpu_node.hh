@@ -26,6 +26,7 @@ class CpuNode : public Tickable
 
     void evaluate(Cycle now) override;
     void advance(Cycle now) override;
+    bool quiescent(Cycle now) const override;
 
     Cycle busyUntil() const { return busy_until_; }
     std::uint64_t interruptsServiced() const { return serviced_; }

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Regression tests for TreeChecker's reusable scratch buffers. The
+ * reduction's level vectors are member scratch storage (allocation-free
+ * on the per-beat hot path), so these tests pin down the property that
+ * makes that safe: a long-lived checker answering many consecutive
+ * checks — across different windows, window sizes and arities — always
+ * agrees with a freshly constructed checker answering the same single
+ * request.
+ */
+
+#include <gtest/gtest.h>
+
+#include "iopmp/linear_checker.hh"
+#include "iopmp/tree_checker.hh"
+
+namespace siopmp {
+namespace iopmp {
+namespace {
+
+class TreeScratchFixture : public ::testing::Test
+{
+  protected:
+    TreeScratchFixture() : entries(16), mdcfg(4, 16)
+    {
+        mdcfg.setTop(0, 2);
+        mdcfg.setTop(1, 4);
+        mdcfg.setTop(2, 8);
+        mdcfg.setTop(3, 16);
+
+        entries.set(0, Entry::range(0x1000, 0x100, Perm::None));
+        entries.set(1, Entry::range(0x1000, 0x1000, Perm::Read));
+        entries.set(2, Entry::range(0x2000, 0x800, Perm::ReadWrite));
+        entries.set(4, Entry::range(0x3000, 0x100, Perm::Write));
+        entries.set(5, Entry::range(0x3100, 0x100, Perm::Read));
+        entries.set(9, Entry::range(0x5000, 0x400, Perm::ReadWrite));
+        entries.set(15, Entry::range(0x6000, 0x40, Perm::Read));
+    }
+
+    static void
+    expectSame(const CheckResult &a, const CheckResult &b)
+    {
+        EXPECT_EQ(a.entry, b.entry);
+        EXPECT_EQ(a.allowed, b.allowed);
+        EXPECT_EQ(a.partial, b.partial);
+    }
+
+    std::vector<CheckRequest>
+    requestMix() const
+    {
+        return {
+            {0x1000, 8, Perm::Read, 0b0001},    // shadowed deny
+            {0x1100, 8, Perm::Read, 0b0001},    // allow via entry 1
+            {0x2000, 8, Perm::Write, 0b0010},   // allow via entry 2
+            {0x27f8, 16, Perm::Read, 0b0010},   // partial overlap
+            {0x3000, 8, Perm::Write, 0b0100},   // allow via entry 4
+            {0x3000, 8, Perm::Read, 0b0100},    // perm deny
+            {0x5000, 64, Perm::Read, 0b1000},   // allow via entry 9
+            {0x6000, 8, Perm::Read, 0b1000},    // allow via entry 15
+            {0x9000, 8, Perm::Read, 0b1111},    // no match
+        };
+    }
+
+    EntryTable entries;
+    MdCfgTable mdcfg;
+};
+
+TEST_F(TreeScratchFixture, ConsecutiveChecksMatchFreshChecker)
+{
+    TreeChecker reused(entries, mdcfg);
+    // Two passes so the second pass runs with warm (dirty) scratch.
+    for (int pass = 0; pass < 2; ++pass) {
+        for (const auto &req : requestMix()) {
+            TreeChecker fresh(entries, mdcfg);
+            expectSame(reused.check(req), fresh.check(req));
+        }
+    }
+}
+
+TEST_F(TreeScratchFixture, WindowSizeChangesDoNotLeakState)
+{
+    TreeChecker reused(entries, mdcfg);
+    const CheckRequest req{0x5000, 8, Perm::Read, 0b1000};
+    // Shrink and grow the reduction window; stale verdicts from a
+    // previous (larger) level buffer must never bleed into a smaller
+    // window's reduction.
+    const unsigned windows[][2] = {{0, 16}, {8, 10}, {0, 16}, {9, 10},
+                                   {0, 2},  {0, 16}, {15, 16}};
+    for (const auto &w : windows) {
+        TreeChecker fresh(entries, mdcfg);
+        expectSame(reused.reduceWindow(req, w[0], w[1]),
+                   fresh.reduceWindow(req, w[0], w[1]));
+    }
+    // Entry 9 only matches when its index is inside the window.
+    EXPECT_EQ(reused.reduceWindow(req, 9, 10).entry, 9);
+    EXPECT_EQ(reused.reduceWindow(req, 0, 9).entry, -1);
+}
+
+TEST_F(TreeScratchFixture, ReduceWindowClampsBounds)
+{
+    TreeChecker c(entries, mdcfg);
+    const CheckRequest req{0x6000, 8, Perm::Read, 0b1000};
+
+    // hi beyond the table clamps to the table size.
+    expectSame(c.reduceWindow(req, 0, 1000), c.reduceWindow(req, 0, 16));
+    EXPECT_EQ(c.reduceWindow(req, 0, 1000).entry, 15);
+
+    // Empty and inverted windows are a clean default-deny.
+    for (const auto &w :
+         {std::pair<unsigned, unsigned>{5, 5},
+          std::pair<unsigned, unsigned>{7, 3},
+          std::pair<unsigned, unsigned>{16, 16},
+          std::pair<unsigned, unsigned>{100, 200}}) {
+        const CheckResult r = c.reduceWindow(req, w.first, w.second);
+        EXPECT_EQ(r.entry, -1);
+        EXPECT_FALSE(r.allowed);
+        EXPECT_FALSE(r.partial);
+    }
+
+    // A clamped call must not corrupt the next full check.
+    expectSame(c.check(req), TreeChecker(entries, mdcfg).check(req));
+}
+
+TEST_F(TreeScratchFixture, AllAritiesAgreeWithLinearAcrossReuse)
+{
+    LinearChecker linear(entries, mdcfg);
+    for (unsigned arity : {2u, 3u, 4u, 8u, 16u}) {
+        TreeChecker tree(entries, mdcfg, arity);
+        for (int pass = 0; pass < 2; ++pass) {
+            for (const auto &req : requestMix())
+                expectSame(tree.check(req), linear.check(req));
+        }
+    }
+}
+
+} // namespace
+} // namespace iopmp
+} // namespace siopmp

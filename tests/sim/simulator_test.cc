@@ -96,5 +96,158 @@ TEST(Simulator, RemoveStopsTicking)
     EXPECT_EQ(log.size(), 2u); // only the first cycle's eval+adv
 }
 
+/** Counts its ticks; quiesces on demand. */
+class Sleeper : public Tickable
+{
+  public:
+    Sleeper() : Tickable("sleeper") {}
+
+    void evaluate(Cycle now) override
+    {
+        ++evals;
+        last_eval = now;
+    }
+
+    void advance(Cycle) override { ++advs; }
+    bool quiescent(Cycle) const override { return sleepy; }
+
+    bool sleepy = true;
+    unsigned evals = 0;
+    unsigned advs = 0;
+    Cycle last_eval = 0;
+};
+
+TEST(FastForward, StepJumpsIdleGapToNextEvent)
+{
+    Simulator sim;
+    sim.setFastForward(true);
+    Sleeper s;
+    sim.add(&s);
+    bool fired = false;
+    sim.events().schedule(100, [&] { fired = true; });
+
+    // A freshly added component runs two cycles before retiring: the
+    // registration wake keeps it hot through cycle 0, and retirement
+    // happens at the end of cycle 1.
+    sim.step();
+    sim.step();
+    EXPECT_EQ(sim.activeComponents(), 0u);
+    EXPECT_EQ(s.evals, 2u);
+
+    sim.step(); // jumps 2 -> 100, services the event, ticks cycle 100
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(sim.now(), 101u);
+    EXPECT_EQ(sim.idleCyclesSkipped(), 98u);
+    EXPECT_EQ(s.evals, 2u); // the event woke nothing
+}
+
+TEST(FastForward, RunCoversExactCycleCountWhileIdle)
+{
+    Simulator sim;
+    sim.setFastForward(true);
+    Sleeper s;
+    sim.add(&s);
+    sim.run(1000);
+    EXPECT_EQ(sim.now(), 1000u);
+    EXPECT_EQ(s.evals, 2u);
+    EXPECT_EQ(sim.idleCyclesSkipped(), 998u);
+}
+
+TEST(FastForward, ScheduleWakeReactivatesAtTheRightCycle)
+{
+    Simulator sim;
+    sim.setFastForward(true);
+    Sleeper s;
+    sim.add(&s);
+    sim.run(2);
+    EXPECT_EQ(sim.activeComponents(), 0u);
+
+    sim.events().scheduleWake(50, &s);
+    sim.run(100);
+    EXPECT_EQ(sim.now(), 102u);
+    // Woken at 50, ticked at 50 and (wake grace cycle) 51, retired.
+    EXPECT_EQ(s.evals, 4u);
+    EXPECT_EQ(s.last_eval, 51u);
+}
+
+TEST(FastForward, ManualWakeReactivates)
+{
+    Simulator sim;
+    sim.setFastForward(true);
+    Sleeper s;
+    sim.add(&s);
+    sim.run(2);
+    EXPECT_EQ(sim.activeComponents(), 0u);
+
+    s.sleepy = false;
+    s.wake();
+    EXPECT_EQ(sim.activeComponents(), 1u);
+    sim.run(3);
+    EXPECT_EQ(s.evals, 5u); // cycles 0,1 then 2,3,4
+    EXPECT_EQ(sim.now(), 5u);
+}
+
+TEST(FastForward, BusyComponentsNeverRetire)
+{
+    Simulator sim;
+    sim.setFastForward(true);
+    Sleeper s;
+    s.sleepy = false;
+    sim.add(&s);
+    sim.run(50);
+    EXPECT_EQ(s.evals, 50u);
+    EXPECT_EQ(sim.idleCyclesSkipped(), 0u);
+}
+
+TEST(FastForward, NaiveModeTicksEverything)
+{
+    Simulator sim;
+    sim.setFastForward(false);
+    Sleeper s;
+    sim.add(&s);
+    sim.run(100);
+    EXPECT_EQ(s.evals, 100u);
+    EXPECT_EQ(sim.idleCyclesSkipped(), 0u);
+}
+
+TEST(FastForward, StepWithoutEventsRunsExactlyOneCycle)
+{
+    Simulator sim;
+    sim.setFastForward(true);
+    Sleeper s;
+    sim.add(&s);
+    sim.run(2); // retire the sleeper
+    sim.step();
+    EXPECT_EQ(sim.now(), 3u); // no pending event: no jump
+}
+
+TEST(FastForward, ResetTimeReactivatesEveryComponent)
+{
+    Simulator sim;
+    sim.setFastForward(true);
+    Sleeper s;
+    sim.add(&s);
+    sim.run(10);
+    EXPECT_EQ(sim.activeComponents(), 0u);
+    sim.resetTime();
+    EXPECT_EQ(sim.activeComponents(), 1u);
+    EXPECT_EQ(sim.idleCyclesSkipped(), 0u);
+    sim.run(2);
+    EXPECT_EQ(s.evals, 4u);
+}
+
+TEST(FastForward, AdvancePhaseMatchesEvaluatePhase)
+{
+    // The retirement guard must keep evaluate/advance counts paired:
+    // a component never gets an advance() without its evaluate().
+    Simulator sim;
+    sim.setFastForward(true);
+    Sleeper s;
+    sim.add(&s);
+    sim.events().scheduleWake(40, &s);
+    sim.run(200);
+    EXPECT_EQ(s.evals, s.advs);
+}
+
 } // namespace
 } // namespace siopmp

@@ -10,12 +10,24 @@
  *  3. descriptor-ring tamper — the Thunderclap-style shared-structure
  *     attack against another device's ring.
  *
- *   $ ./dma_attack_demo
+ * Between the replay phases the demo also exercises the §4.1 blocking
+ * primitive: the monitor asserts the attacker's SID block bit while a
+ * legitimate write is in flight, holds it for a while, then releases
+ * it — producing a visible blocking window.
+ *
+ *   $ ./dma_attack_demo [trace.json]
+ *
+ * With a path argument, the whole run is traced as Chrome trace-event
+ * JSON (load in Perfetto / chrome://tracing); see
+ * docs/OBSERVABILITY.md.
  */
 
 #include <cstdio>
+#include <fstream>
+#include <memory>
 
 #include "devices/malicious.hh"
+#include "sim/trace.hh"
 #include "soc/soc.hh"
 
 using namespace siopmp;
@@ -81,6 +93,18 @@ runScenario(iopmp::ViolationPolicy policy)
                 static_cast<unsigned long long>(
                     soc.memory().read64(kWindow)));
 
+    // Interlude: the §4.1 blocking primitive. Assert the attacker's
+    // SID block bit while a legitimate write is in flight, hold it,
+    // then release — the checker records the blocking window.
+    iopmp.blockBitmap().block(0);
+    attacker.startAttack(replay, soc.sim().now());
+    soc.sim().run(1'000); // request stalls at the checker
+    iopmp.blockBitmap().unblock(0);
+    soc.sim().runUntil([&] { return attacker.done(); }, 500'000);
+    std::printf("  blocking windows observed: %llu\n",
+                static_cast<unsigned long long>(
+                    soc.monitor().blockWindows()));
+
     iopmp.entryTable().clear(0); // monitor revokes the mapping
     soc.memory().write64(kWindow, 0xc1ea'0000); // region recycled
     attack("write (replayed)", replay);
@@ -112,12 +136,33 @@ runScenario(iopmp::ViolationPolicy policy)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::ofstream trace_file;
+    std::unique_ptr<trace::ChromeTraceSink> sink;
+    if (argc > 1) {
+        trace_file.open(argv[1]);
+        if (!trace_file) {
+            std::fprintf(stderr, "cannot open %s\n", argv[1]);
+            return 2;
+        }
+        sink = std::make_unique<trace::ChromeTraceSink>(trace_file);
+        trace::tracer().setSink(sink.get());
+    }
+
     std::printf("sIOPMP DMA attack demonstration\n");
     runScenario(iopmp::ViolationPolicy::BusError);
     runScenario(iopmp::ViolationPolicy::PacketMasking);
     std::printf("\nAll attack classes neutralized under both "
                 "mechanisms.\n");
+
+    if (sink) {
+        trace::tracer().setSink(nullptr);
+        sink->flush();
+        std::printf("trace: %llu events -> %s\n",
+                    static_cast<unsigned long long>(
+                        sink->eventsWritten()),
+                    argv[1]);
+    }
     return 0;
 }

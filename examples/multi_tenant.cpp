@@ -17,6 +17,7 @@
  */
 
 #include <cstdio>
+#include <iostream>
 
 #include "devices/accelerator.hh"
 #include "devices/dma_engine.hh"
@@ -150,5 +151,10 @@ main()
     std::printf("tenant A device reading tenant B memory: %s\n",
                 cross.status == iopmp::AuthStatus::Allow ? "ALLOWED (bug!)"
                                                          : "denied");
+
+    // --- Stats: every component this run touched -------------------------
+    std::printf("\nfinal statistics:\n");
+    stats::TextStatsWriter writer(std::cout);
+    stats::Registry::global().accept(writer);
     return 0;
 }

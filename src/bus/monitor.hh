@@ -5,6 +5,12 @@
  * software asserts a per-SID block. The monitor tracks in-flight
  * transactions per device so the blocking primitive can wait until the
  * pipeline has drained before reporting the device as quiesced.
+ *
+ * The monitor also records blocking windows — the contiguous stretch of
+ * cycles a device's head-of-line request stalls on its SID block bit —
+ * into a histogram, so experiments can quantify how long the §4.1
+ * atomic-modification primitive holds traffic (checker nodes report
+ * window start/end; see CheckerNode::dispatchRequests).
  */
 
 #ifndef BUS_MONITOR_HH
@@ -14,6 +20,7 @@
 #include <map>
 
 #include "bus/packet.hh"
+#include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace siopmp {
@@ -62,17 +69,32 @@ class BusMonitor
     std::uint64_t totalStarted() const { return total_started_; }
     std::uint64_t totalCompleted() const { return total_completed_; }
 
+    /**
+     * Record a completed blocking window: @p device's head request
+     * stalled on its SID block bit for @p cycles before proceeding.
+     */
+    void recordBlockWindow(DeviceId device, Cycle cycles);
+
+    /** Completed blocking windows observed so far. */
+    std::uint64_t blockWindows() const { return block_windows_; }
+
+    stats::Group &statsGroup() { return stats_; }
+
     void
     reset()
     {
         inflight_.clear();
         total_started_ = total_completed_ = 0;
+        block_windows_ = 0;
+        stats_.resetAll();
     }
 
   private:
     std::map<DeviceId, std::uint64_t> inflight_;
     std::uint64_t total_started_ = 0;
     std::uint64_t total_completed_ = 0;
+    std::uint64_t block_windows_ = 0;
+    stats::Group stats_{"busmon"};
 };
 
 } // namespace bus

@@ -8,9 +8,22 @@
 #include <utility>
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace siopmp {
 namespace bus {
+
+namespace {
+
+/** Span correlation id for a transaction crossing the xbar: the port
+ * that issued it disambiguates txn ids across masters. */
+std::uint64_t
+txnSpanId(std::uint32_t port, std::uint64_t txn)
+{
+    return (static_cast<std::uint64_t>(port + 1) << 48) ^ txn;
+}
+
+} // namespace
 
 Xbar::Xbar(std::string name, std::vector<Link *> uplinks, Link *downlink)
     : Tickable(std::move(name)),
@@ -71,10 +84,48 @@ Xbar::forwardRequest()
         beat.route = static_cast<std::uint32_t>(port);
         down_->a.push(beat);
         ++stats_.scalar("a_beats");
+        if (beat.beat_idx == 0 && trace::on())
+            traceTxnBegin(beat);
         grant_ = port;
         burst_locked_ = !beat.last;
         return;
     }
+}
+
+void
+Xbar::traceTxnBegin(const Beat &beat)
+{
+    trace::Event ev;
+    ev.when = now_;
+    ev.phase = trace::Phase::SpanBegin;
+    ev.track = name().c_str();
+    ev.category = "bus";
+    ev.name = "txn";
+    ev.id = txnSpanId(beat.route, beat.txn);
+    ev.device = beat.device;
+    ev.addr = beat.addr;
+    ev.arg0 = static_cast<std::uint64_t>(beat.opcode);
+    ev.arg1 = beat.num_beats;
+    ev.label = opcodeName(beat.opcode);
+    trace::emit(ev);
+}
+
+void
+Xbar::traceTxnEnd(const Beat &beat)
+{
+    trace::Event ev;
+    ev.when = now_;
+    ev.phase = trace::Phase::SpanEnd;
+    ev.track = name().c_str();
+    ev.category = "bus";
+    ev.name = "txn";
+    ev.id = txnSpanId(beat.route, beat.txn);
+    ev.device = beat.device;
+    ev.addr = beat.addr;
+    ev.arg0 = beat.denied ? 1 : 0;
+    ev.arg1 = beat.masked ? 1 : 0;
+    ev.label = opcodeName(beat.opcode);
+    trace::emit(ev);
 }
 
 void
@@ -89,12 +140,15 @@ Xbar::forwardResponse()
         return;
     link->d.push(beat);
     ++stats_.scalar("d_beats");
+    if (beat.last && trace::on())
+        traceTxnEnd(beat);
     down_->d.pop();
 }
 
 void
-Xbar::evaluate(Cycle)
+Xbar::evaluate(Cycle now)
 {
+    now_ = now;
     forwardRequest();
     forwardResponse();
 }

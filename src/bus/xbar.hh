@@ -42,12 +42,17 @@ class Xbar : public Tickable
     /** Route at most one D beat back to its master port. */
     void forwardResponse();
 
+    /** Async-span trace events bracketing one bus transaction. */
+    void traceTxnBegin(const Beat &beat);
+    void traceTxnEnd(const Beat &beat);
+
     std::vector<Link *> up_;
     Link *down_;
     // A-channel arbitration state: which port holds the bus, and
     // whether a burst is mid-flight (beats must stay contiguous).
     std::size_t grant_ = 0;
     bool burst_locked_ = false;
+    Cycle now_ = 0; //!< latched in evaluate() for trace timestamps
     stats::Group stats_;
 };
 

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace siopmp {
 namespace iommu {
@@ -48,12 +49,29 @@ IommuNode::acceptRequests(Cycle now)
     }
 
     Cycle walk_cost = 0;
+    const Addr iova = beat.addr;
     auto translation =
         mmu_->translate(beat.addr, beat.requiredPerm(), now, &walk_cost);
     if (walk_cost == 0)
         ++stats_.scalar("iotlb_hits");
     else
         ++stats_.scalar("table_walks");
+
+    if (trace::on()) {
+        trace::Event ev;
+        ev.when = now;
+        ev.track = name().c_str();
+        ev.category = "iommu";
+        ev.name = "translate";
+        ev.device = beat.device;
+        ev.addr = iova;
+        ev.arg0 = walk_cost;
+        ev.arg1 = translation ? translation->paddr : 0;
+        ev.label = !translation.has_value() ? "fault"
+                   : walk_cost > 0          ? "walk"
+                                            : "hit";
+        trace::emit(ev);
+    }
 
     Pending pending;
     pending.ready_at = now + walk_cost;

@@ -8,9 +8,24 @@
 #include <utility>
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace siopmp {
 namespace iopmp {
+
+namespace {
+
+/** Span correlation id for a transaction seen at the checker. The
+ * route tag is not stamped yet (the xbar sits downstream in the
+ * per-device topology), so key by originating device instead. */
+std::uint64_t
+checkSpanId(const bus::Beat &beat)
+{
+    return ((static_cast<std::uint64_t>(beat.device) + 1) << 32) ^
+           beat.txn;
+}
+
+} // namespace
 
 CheckerNode::CheckerNode(std::string name, bus::Link *up, bus::Link *down,
                          bus::Link *err, SIopmp *unit,
@@ -73,10 +88,95 @@ CheckerNode::acceptRequests(Cycle now)
     if (up_->a.empty() || !req_pipe_.canPush())
         return;
     const bus::Beat &beat = up_->a.front();
-    if (beat.beat_idx == 0 && monitor_)
-        monitor_->onRequestStart(beat.device);
+    if (beat.beat_idx == 0) {
+        if (monitor_)
+            monitor_->onRequestStart(beat.device);
+        if (trace::on()) {
+            trace::Event ev;
+            ev.when = now;
+            ev.phase = trace::Phase::SpanBegin;
+            ev.track = name().c_str();
+            ev.category = "checker";
+            ev.name = "check";
+            ev.id = checkSpanId(beat);
+            ev.device = beat.device;
+            ev.addr = beat.addr;
+            ev.arg0 = unit_->checker().stages();
+            ev.arg1 = beat.num_beats;
+            ev.label = bus::opcodeName(beat.opcode);
+            trace::emit(ev);
+        }
+    }
     req_pipe_.push(beat, now);
     up_->a.pop();
+}
+
+unsigned
+CheckerNode::decidingStage(int entry) const
+{
+    const unsigned stages = unit_->checker().stages();
+    if (entry < 0 || stages <= 1)
+        return 0;
+    const unsigned total = unit_->checker().entries().size();
+    const unsigned per_stage = (total + stages - 1) / stages;
+    return per_stage == 0 ? 0 : static_cast<unsigned>(entry) / per_stage;
+}
+
+void
+CheckerNode::traceResolved(const bus::Beat &beat, Cycle now,
+                           const char *verdict, int entry)
+{
+    // Close an open blocking window: the stalled head beat finally
+    // resolved, so the §4.1 drain wait is over. This is stats-level
+    // bookkeeping and runs whether or not a trace sink is installed.
+    if (block_window_start_) {
+        const Cycle duration = now - *block_window_start_;
+        if (monitor_)
+            monitor_->recordBlockWindow(beat.device, duration);
+        if (trace::on()) {
+            trace::Event ev;
+            ev.when = now;
+            ev.phase = trace::Phase::SpanEnd;
+            ev.track = name().c_str();
+            ev.category = "checker";
+            ev.name = "block_window";
+            ev.id = beat.device + 1;
+            ev.device = beat.device;
+            ev.arg1 = duration;
+            trace::emit(ev);
+        }
+        block_window_start_.reset();
+    }
+
+    if (!trace::on())
+        return;
+
+    trace::Event ev;
+    ev.when = now;
+    ev.phase = trace::Phase::Instant;
+    ev.track = name().c_str();
+    ev.category = "checker";
+    ev.name = "verdict";
+    ev.device = beat.device;
+    ev.addr = beat.addr;
+    ev.arg0 = decidingStage(entry);
+    ev.arg1 = static_cast<std::uint64_t>(entry < 0 ? ~0ull : entry);
+    ev.label = verdict;
+    trace::emit(ev);
+
+    if (verdict[0] == 'd') { // deny / deny-drain
+        ev.name = "violation";
+        ev.label = permName(beat.requiredPerm());
+        trace::emit(ev);
+    }
+
+    if (beat.last) {
+        ev.phase = trace::Phase::SpanEnd;
+        ev.name = "check";
+        ev.id = checkSpanId(beat);
+        ev.label = verdict;
+        trace::emit(ev);
+    }
 }
 
 void
@@ -95,6 +195,8 @@ CheckerNode::dispatchRequests(Cycle now)
         req_pipe_.pop();
         if (beat.last)
             diverting_txn_.reset();
+        if (block_window_start_ || trace::on())
+            traceResolved(beat, now, "deny-drain", -1);
         return;
     }
 
@@ -119,10 +221,37 @@ CheckerNode::dispatchRequests(Cycle now)
       case AuthStatus::SidMiss:
         pending_miss_ = beat.device;
         ++stats_.scalar("sid_miss_stalls");
+        if (trace::on()) {
+            trace::Event ev;
+            ev.when = now;
+            ev.track = name().c_str();
+            ev.category = "checker";
+            ev.name = "sid_miss";
+            ev.device = beat.device;
+            ev.addr = beat.addr;
+            trace::emit(ev);
+        }
         return; // stall until mounted
 
       case AuthStatus::Blocked:
         ++stats_.scalar("block_stalls");
+        // Edge: open the §4.1 blocking window on the first stalled
+        // cycle; traceResolved() closes it when the head resolves.
+        if (!block_window_start_) {
+            block_window_start_ = now;
+            if (trace::on()) {
+                trace::Event ev;
+                ev.when = now;
+                ev.phase = trace::Phase::SpanBegin;
+                ev.track = name().c_str();
+                ev.category = "checker";
+                ev.name = "block_window";
+                ev.id = beat.device + 1;
+                ev.device = beat.device;
+                ev.addr = beat.addr;
+                trace::emit(ev);
+            }
+        }
         return; // per-SID block: stall (head of this device's stream)
 
       case AuthStatus::Deny:
@@ -134,6 +263,8 @@ CheckerNode::dispatchRequests(Cycle now)
             req_pipe_.pop();
             if (bus::isWrite(beat.opcode) && !beat.last)
                 diverting_txn_ = beat.txn;
+            if (block_window_start_ || trace::on())
+                traceResolved(beat, now, "deny", auth.entry);
             return;
         }
         // Packet masking: writes lose their strobe; reads are recorded
@@ -145,6 +276,8 @@ CheckerNode::dispatchRequests(Cycle now)
             beat.masked = true;
             down_->a.push(beat);
             req_pipe_.pop();
+            if (block_window_start_ || trace::on())
+                traceResolved(beat, now, "deny", auth.entry);
             return;
         }
         if (!down_->a.canPush())
@@ -153,6 +286,8 @@ CheckerNode::dispatchRequests(Cycle now)
                          {beat.device, beat.addr, /*violated=*/true});
         down_->a.push(beat);
         req_pipe_.pop();
+        if (block_window_start_ || trace::on())
+            traceResolved(beat, now, "deny", auth.entry);
         return;
 
       case AuthStatus::Allow:
@@ -166,6 +301,8 @@ CheckerNode::dispatchRequests(Cycle now)
         down_->a.push(beat);
         ++stats_.scalar("beats_forwarded");
         req_pipe_.pop();
+        if (block_window_start_ || trace::on())
+            traceResolved(beat, now, "allow", auth.entry);
         return;
     }
 }

@@ -107,6 +107,17 @@ class CheckerNode : public Tickable
     Cycle requestDelay() const;
     Cycle responseDelay() const;
 
+    /** Pipeline stage whose entry window decided the check (trace
+     * attribution); 0 for non-pipelined checkers or no-match denials. */
+    unsigned decidingStage(int entry) const;
+
+    /** Emit the verdict instant (and span end on the last beat) for a
+     * beat leaving the request pipe; closes an open blocking window
+     * (window stats record even with tracing off). Call sites keep the
+     * hot path call-free: `if (block_window_start_ || trace::on())`. */
+    void traceResolved(const bus::Beat &beat, Cycle now,
+                       const char *verdict, int entry);
+
     bus::Link *up_;
     bus::Link *down_;
     bus::Link *err_;
@@ -124,6 +135,9 @@ class CheckerNode : public Tickable
     //! Edge trigger for SID-missing: avoid re-raising the interrupt
     //! every cycle while the monitor services the mount.
     std::optional<DeviceId> pending_miss_;
+    //! Open blocking window (§4.1): cycle the head-of-line beat first
+    //! stalled on its SID block bit; closed when the head resolves.
+    std::optional<Cycle> block_window_start_;
 
     stats::Group stats_;
 };

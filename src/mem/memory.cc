@@ -11,9 +11,41 @@
 
 #include "sim/logging.hh"
 #include "sim/simulator.hh"
+#include "sim/trace.hh"
 
 namespace siopmp {
 namespace mem {
+
+namespace {
+
+/** Service-span correlation id: route tags are stamped by the xbar
+ * before beats reach the memory controller, so (route, txn) is unique
+ * fabric-wide. */
+std::uint64_t
+serviceSpanId(const bus::Beat &beat)
+{
+    return (static_cast<std::uint64_t>(beat.route + 1) << 48) ^ beat.txn;
+}
+
+void
+traceService(Cycle now, const char *track, trace::Phase phase,
+             const char *name, const bus::Beat &beat, std::uint64_t arg0)
+{
+    trace::Event ev;
+    ev.when = now;
+    ev.phase = phase;
+    ev.track = track;
+    ev.category = "mem";
+    ev.name = name;
+    ev.id = serviceSpanId(beat);
+    ev.device = beat.device;
+    ev.addr = beat.addr;
+    ev.arg0 = arg0;
+    ev.arg1 = beat.num_beats;
+    trace::emit(ev);
+}
+
+} // namespace
 
 const Backing::Page *
 Backing::findPage(Addr addr) const
@@ -144,6 +176,10 @@ MemoryNode::acceptRequest(Cycle now)
         reads_.push_back(pr);
         next_read_start_ = now + timing_.read_interval;
         ++stats_.scalar("read_bursts");
+        if (trace::on()) {
+            traceService(now, name().c_str(), trace::Phase::SpanBegin,
+                         "read", req, timing_.read_latency);
+        }
         up_->a.pop();
         return;
     }
@@ -156,6 +192,10 @@ MemoryNode::acceptRequest(Cycle now)
         data_port_used_ = true;
         backing_->write64(req.addr, req.data, req.strobe);
         ++stats_.scalar("write_beats");
+        if (req.beat_idx == 0 && trace::on()) {
+            traceService(now, name().c_str(), trace::Phase::SpanBegin,
+                         "write", req, timing_.write_latency);
+        }
         if (req.last) {
             acks_.push_back(
                 PendingAck{req, now + timing_.write_latency});
@@ -177,6 +217,10 @@ MemoryNode::issueResponse(Cycle now)
 
     // Write acks take priority (single beat, cheap).
     if (!acks_.empty() && acks_.front().ready_at <= now) {
+        if (trace::on()) {
+            traceService(now, name().c_str(), trace::Phase::SpanEnd,
+                         "write", acks_.front().last_req, 0);
+        }
         up_->d.push(bus::makeAck(acks_.front().last_req));
         acks_.pop_front();
         return;
@@ -195,8 +239,13 @@ MemoryNode::issueResponse(Cycle now)
         up_->d.push(bus::makeAckData(pr.req, pr.next_beat,
                                      backing_->read64(beat_addr)));
         ++stats_.scalar("read_beats");
-        if (++pr.next_beat == pr.req.num_beats)
+        if (++pr.next_beat == pr.req.num_beats) {
+            if (trace::on()) {
+                traceService(now, name().c_str(), trace::Phase::SpanEnd,
+                             "read", pr.req, 0);
+            }
             reads_.pop_front();
+        }
     }
 }
 

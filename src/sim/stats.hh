@@ -1,7 +1,17 @@
 /**
  * @file
  * Statistics framework: named scalar counters, averages, histograms and
- * percentile distributions, grouped per component and dumpable as text.
+ * percentile distributions, grouped per component.
+ *
+ * Groups self-register with the process-wide stats::Registry at
+ * construction and retire at destruction, so any consumer — the CLI's
+ * --stats-json, a test, a bench harness — can enumerate every live
+ * group without threading pointers through the object graph. Output is
+ * decoupled from the stat containers through the StatsVisitor
+ * interface; TextStatsWriter reproduces the classic "group.stat value"
+ * line format and JsonStatsWriter emits a machine-readable document
+ * with identical coverage. The old ostream-coupled Group::dump remains
+ * as a deprecated shim for one release.
  */
 
 #ifndef SIM_STATS_HH
@@ -9,6 +19,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -89,6 +100,8 @@ class Histogram
 
     void sample(double v);
 
+    double lo() const { return lo_; }
+    double bucketWidth() const { return width_; }
     std::uint64_t bucketCount(std::size_t i) const { return buckets_.at(i); }
     std::size_t numBuckets() const { return buckets_.size(); }
     std::uint64_t underflow() const { return underflow_; }
@@ -105,14 +118,52 @@ class Histogram
     std::uint64_t total_ = 0;
 };
 
+class Group;
+
 /**
- * A named group of statistics owned by a component. Scalars and
- * averages are registered by name and dumped in registration order.
+ * Double-dispatch interface over a Group's stats. A visitor receives
+ * every registered stat of every visited group in registration order;
+ * writers (text, JSON) are visitors, as is anything that aggregates,
+ * diffs or uploads stats.
+ */
+class StatsVisitor
+{
+  public:
+    virtual ~StatsVisitor() = default;
+
+    virtual void beginGroup(const Group &group) { (void)group; }
+    virtual void endGroup(const Group &group) { (void)group; }
+
+    virtual void visitScalar(const Group &group, const std::string &name,
+                             const Scalar &s) = 0;
+    virtual void visitAverage(const Group &group, const std::string &name,
+                              const Average &a) = 0;
+    virtual void visitDistribution(const Group &group,
+                                   const std::string &name,
+                                   const Distribution &d) = 0;
+    virtual void visitHistogram(const Group &group, const std::string &name,
+                                const Histogram &h) = 0;
+};
+
+class Registry;
+
+/**
+ * A named group of statistics owned by a component. Stats are
+ * registered lazily by name and visited in registration order. The
+ * group adds itself to Registry::global() on construction and removes
+ * itself on destruction; copies are detached (never registered) — the
+ * registry uses them to snapshot retiring groups.
  */
 class Group
 {
   public:
-    explicit Group(std::string name) : name_(std::move(name)) {}
+    explicit Group(std::string name);
+
+    /** Detached copy: same name and stat values, not registered. */
+    Group(const Group &other);
+    Group &operator=(const Group &) = delete;
+
+    ~Group();
 
     /** Register (or fetch) a named scalar. */
     Scalar &scalar(const std::string &stat_name);
@@ -123,9 +174,22 @@ class Group
     /** Register (or fetch) a named distribution. */
     Distribution &distribution(const std::string &stat_name);
 
+    /** Register (or fetch) a named histogram; the shape parameters
+     * apply only on first registration. */
+    Histogram &histogram(const std::string &stat_name, double lo,
+                         double width, std::size_t nbuckets);
+
     const std::string &name() const { return name_; }
 
+    /** True iff no stat has been registered yet (quiet component). */
+    bool empty() const { return order_.empty(); }
+
+    /** Visit every stat in registration order (between begin/endGroup). */
+    void accept(StatsVisitor &visitor) const;
+
     /** Write all stats as "group.stat value" lines. */
+    [[deprecated("use accept() with a TextStatsWriter; see "
+                 "docs/OBSERVABILITY.md")]]
     void dump(std::ostream &os) const;
 
     /** Reset every stat in the group. */
@@ -136,7 +200,105 @@ class Group
     std::map<std::string, Scalar> scalars_;
     std::map<std::string, Average> averages_;
     std::map<std::string, Distribution> distributions_;
-    std::vector<std::string> order_; // "s:name" / "a:name" / "d:name"
+    std::map<std::string, Histogram> histograms_;
+    std::vector<std::string> order_; // "s:" / "a:" / "d:" / "h:" + name
+    Registry *registry_ = nullptr;   //!< null for detached copies
+};
+
+/**
+ * Process-wide registry of live stat groups, in construction order.
+ * With retention enabled (setRetainRetired), a destructing group
+ * leaves a final-value snapshot behind, so a consumer like the CLI's
+ * --stats-json can report on components that died with their Soc
+ * before the dump point. The simulator is single-threaded by design,
+ * so no synchronization is required.
+ */
+class Registry
+{
+  public:
+    static Registry &global();
+
+    void add(Group *group);
+    void remove(Group *group);
+
+    /** Visit every live group, then every retained snapshot. */
+    void accept(StatsVisitor &visitor) const;
+
+    /** Reset every stat of every live group. */
+    void resetAll();
+
+    /** Keep final-value snapshots of destructed groups. */
+    void setRetainRetired(bool retain) { retain_ = retain; }
+    bool retainRetired() const { return retain_; }
+    void clearRetired() { retired_.clear(); }
+
+    std::size_t numLive() const { return live_.size(); }
+    std::size_t numRetired() const { return retired_.size(); }
+    const std::vector<Group *> &liveGroups() const { return live_; }
+
+  private:
+    std::vector<Group *> live_;
+    std::vector<std::unique_ptr<Group>> retired_;
+    bool retain_ = false;
+};
+
+/**
+ * Classic text format: "group.stat value" lines, one stat component
+ * per line, in group/stat registration order.
+ */
+class TextStatsWriter : public StatsVisitor
+{
+  public:
+    explicit TextStatsWriter(std::ostream &os) : os_(os) {}
+
+    void visitScalar(const Group &group, const std::string &name,
+                     const Scalar &s) override;
+    void visitAverage(const Group &group, const std::string &name,
+                      const Average &a) override;
+    void visitDistribution(const Group &group, const std::string &name,
+                           const Distribution &d) override;
+    void visitHistogram(const Group &group, const std::string &name,
+                        const Histogram &h) override;
+
+  private:
+    std::ostream &os_;
+};
+
+/**
+ * JSON document writer:
+ *
+ *   {"groups": [{"name": "...", "stats": [
+ *       {"name": "...", "type": "scalar", "value": ...}, ...]}]}
+ *
+ * Call finish() after the last group (destruction finishes implicitly).
+ */
+class JsonStatsWriter : public StatsVisitor
+{
+  public:
+    explicit JsonStatsWriter(std::ostream &os);
+    ~JsonStatsWriter() override;
+
+    void beginGroup(const Group &group) override;
+    void endGroup(const Group &group) override;
+    void visitScalar(const Group &group, const std::string &name,
+                     const Scalar &s) override;
+    void visitAverage(const Group &group, const std::string &name,
+                      const Average &a) override;
+    void visitDistribution(const Group &group, const std::string &name,
+                           const Distribution &d) override;
+    void visitHistogram(const Group &group, const std::string &name,
+                        const Histogram &h) override;
+
+    /** Close the document. Idempotent. */
+    void finish();
+
+  private:
+    void stat(const std::string &name, const char *type);
+
+    std::ostream &os_;
+    bool first_group_ = true;
+    bool first_stat_ = true;
+    bool finished_ = false;
 };
 
 } // namespace stats

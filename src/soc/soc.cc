@@ -10,10 +10,35 @@
 namespace siopmp {
 namespace soc {
 
+namespace {
+
+bool
+isPipelined(iopmp::CheckerKind kind)
+{
+    return kind == iopmp::CheckerKind::PipelineLinear ||
+           kind == iopmp::CheckerKind::PipelineTree;
+}
+
+/** Reject checker knob combinations the hardware could not build. */
+void
+validateCheckerConfig(const CheckerConfig &checker)
+{
+    if (checker.stages < 1)
+        fatal("invalid checker config: stages must be >= 1 (got %u)",
+              checker.stages);
+    if (checker.stages > 1 && !isPipelined(checker.kind))
+        fatal("invalid checker config: %u pipeline stages requires a "
+              "pipelined checker kind (PipelineLinear or PipelineTree)",
+              checker.stages);
+}
+
+} // namespace
+
 Soc::Soc(const SocConfig &cfg)
     : cfg_(cfg), mmio_(cfg.mmio_access_cost)
 {
     SIOPMP_ASSERT(cfg.num_masters >= 1, "SoC needs at least one master");
+    validateCheckerConfig(cfg.checkerConfig());
 
     iopmp_ = std::make_unique<iopmp::SIopmp>(
         cfg.iopmp, cfg.checker_kind, cfg.checker_stages);
@@ -90,26 +115,45 @@ Soc::masterLink(unsigned i)
 }
 
 void
+Soc::reconfigure(const CheckerConfig &checker)
+{
+    validateCheckerConfig(checker);
+    iopmp_->setChecker(checker.kind, checker.stages);
+    for (auto &node : checkers_)
+        node->setPolicy(checker.policy);
+    cfg_.checker_kind = checker.kind;
+    cfg_.checker_stages = checker.stages;
+    cfg_.policy = checker.policy;
+}
+
+void
 Soc::setChecker(iopmp::CheckerKind kind, unsigned stages)
 {
-    iopmp_->setChecker(kind, stages);
+    reconfigure({kind, stages, cfg_.policy});
 }
 
 void
 Soc::setPolicy(iopmp::ViolationPolicy policy)
 {
+    reconfigure({cfg_.checker_kind, cfg_.checker_stages, policy});
+}
+
+void
+Soc::accept(stats::StatsVisitor &visitor)
+{
+    iopmp_->statsGroup().accept(visitor);
     for (auto &checker : checkers_)
-        checker->setPolicy(policy);
+        checker->statsGroup().accept(visitor);
+    xbar_->statsGroup().accept(visitor);
+    mem_node_->statsGroup().accept(visitor);
+    monitor_.statsGroup().accept(visitor);
 }
 
 void
 Soc::dumpStats(std::ostream &os)
 {
-    iopmp_->statsGroup().dump(os);
-    for (auto &checker : checkers_)
-        checker->statsGroup().dump(os);
-    xbar_->statsGroup().dump(os);
-    mem_node_->statsGroup().dump(os);
+    stats::TextStatsWriter writer(os);
+    accept(writer);
 }
 
 } // namespace soc

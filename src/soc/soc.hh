@@ -28,12 +28,26 @@
 #include "mem/memory.hh"
 #include "mem/mmio.hh"
 #include "sim/simulator.hh"
+#include "sim/stats.hh"
 
 namespace siopmp {
 namespace soc {
 
 /** MMIO base of the sIOPMP register window on the periphery bus. */
 inline constexpr Addr kIopmpMmioBase = 0x1000'0000;
+
+/**
+ * Runtime-swappable checker configuration: microarchitecture, pipeline
+ * depth and violation policy as one unit, validated together by
+ * Soc::reconfigure (e.g. multi-stage pipelines require a pipelined
+ * checker kind — combinations the old setChecker/setPolicy pair
+ * silently accepted).
+ */
+struct CheckerConfig {
+    iopmp::CheckerKind kind = iopmp::CheckerKind::PipelineTree;
+    unsigned stages = 1;
+    iopmp::ViolationPolicy policy = iopmp::ViolationPolicy::BusError;
+};
 
 struct SocConfig {
     unsigned num_masters = 1;
@@ -44,6 +58,13 @@ struct SocConfig {
     mem::MemoryTiming mem_timing;
     bool centralized_checker = false;
     Cycle mmio_access_cost = 2;
+
+    /** The checker knobs as a validatable unit. */
+    CheckerConfig
+    checkerConfig() const
+    {
+        return {checker_kind, checker_stages, policy};
+    }
 };
 
 class Soc
@@ -65,11 +86,30 @@ class Soc
     /** Register a device (or any component) with the simulator. */
     void add(Tickable *component) { sim_.add(component); }
 
-    /** Swap checker configuration between experiments. */
+    /**
+     * Swap the checker configuration between experiments, validating
+     * the combination (fatal() on an invalid one, e.g. stages > 1 with
+     * a non-pipelined kind). Replaces setChecker() + setPolicy().
+     */
+    void reconfigure(const CheckerConfig &checker);
+
+    [[deprecated("use reconfigure(CheckerConfig) — it validates the "
+                 "kind/stages/policy combination")]]
     void setChecker(iopmp::CheckerKind kind, unsigned stages);
+    [[deprecated("use reconfigure(CheckerConfig) — it validates the "
+                 "kind/stages/policy combination")]]
     void setPolicy(iopmp::ViolationPolicy policy);
 
-    /** Dump every component's statistics as "group.stat value" lines. */
+    /**
+     * Visit the statistics groups of every component this Soc owns
+     * (sIOPMP unit, checker nodes, xbar, memory controller, bus
+     * monitor), in a stable order. Devices register their own groups
+     * with stats::Registry::global().
+     */
+    void accept(stats::StatsVisitor &visitor);
+
+    [[deprecated("use accept() with a stats::TextStatsWriter, or "
+                 "stats::Registry::global(); see docs/OBSERVABILITY.md")]]
     void dumpStats(std::ostream &os);
 
   private:

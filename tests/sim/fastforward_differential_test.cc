@@ -195,7 +195,8 @@ runMixedWorkload(bool fast_forward)
     r.idle_skipped = soc.sim().idleCyclesSkipped();
 
     std::ostringstream os;
-    soc.dumpStats(os);
+    stats::TextStatsWriter writer(os);
+    soc.accept(writer);
     r.stats = os.str();
 
     r.tx_packets = nic.txPackets();

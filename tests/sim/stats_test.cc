@@ -83,16 +83,33 @@ TEST(Histogram, BucketsAndOverflow)
     EXPECT_EQ(h.totalSamples(), 6u);
 }
 
-TEST(Group, DumpContainsRegisteredStats)
+TEST(Group, TextWriterContainsRegisteredStats)
 {
     Group g("unit");
     g.scalar("hits") += 3;
     g.average("lat").sample(7);
     std::ostringstream os;
-    g.dump(os);
+    TextStatsWriter writer(os);
+    g.accept(writer);
     const std::string out = os.str();
     EXPECT_NE(out.find("unit.hits 3"), std::string::npos);
     EXPECT_NE(out.find("unit.lat.mean 7"), std::string::npos);
+}
+
+TEST(Group, DeprecatedDumpShimMatchesTextWriter)
+{
+    Group g("unit");
+    g.scalar("hits") += 3;
+    g.distribution("lat").sample(9);
+    std::ostringstream via_writer;
+    TextStatsWriter writer(via_writer);
+    g.accept(writer);
+    std::ostringstream via_dump;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    g.dump(via_dump);
+#pragma GCC diagnostic pop
+    EXPECT_EQ(via_dump.str(), via_writer.str());
 }
 
 TEST(Group, SameNameReturnsSameStat)
@@ -109,10 +126,143 @@ TEST(Group, ResetAllClearsEverything)
     g.scalar("a") += 5;
     g.average("b").sample(1);
     g.distribution("c").sample(2);
+    g.histogram("d", 0.0, 10.0, 4).sample(15);
     g.resetAll();
     EXPECT_EQ(g.scalar("a").value(), 0.0);
     EXPECT_EQ(g.average("b").count(), 0u);
     EXPECT_EQ(g.distribution("c").count(), 0u);
+    EXPECT_EQ(g.histogram("d", 0.0, 10.0, 4).totalSamples(), 0u);
+}
+
+TEST(Group, HistogramShapeAppliesOnFirstRegistrationOnly)
+{
+    Group g("unit");
+    Histogram &h = g.histogram("lat", 0.0, 10.0, 4);
+    h.sample(25);
+    // A second lookup with different shape parameters returns the same
+    // histogram, shape unchanged.
+    Histogram &again = g.histogram("lat", 100.0, 1.0, 2);
+    EXPECT_EQ(&h, &again);
+    EXPECT_DOUBLE_EQ(again.lo(), 0.0);
+    EXPECT_DOUBLE_EQ(again.bucketWidth(), 10.0);
+    EXPECT_EQ(again.numBuckets(), 4u);
+    EXPECT_EQ(again.bucketCount(2), 1u);
+}
+
+TEST(Group, HistogramDumpsInRegistrationOrder)
+{
+    Group g("unit");
+    g.scalar("first") += 1;
+    g.histogram("mid", 0.0, 1.0, 2).sample(0.5);
+    g.scalar("last") += 1;
+    std::ostringstream os;
+    TextStatsWriter writer(os);
+    g.accept(writer);
+    const std::string out = os.str();
+    const auto first = out.find("unit.first 1");
+    const auto mid = out.find("unit.mid.samples 1");
+    const auto bucket = out.find("unit.mid.bucket0 1");
+    const auto last = out.find("unit.last 1");
+    ASSERT_NE(first, std::string::npos);
+    ASSERT_NE(mid, std::string::npos);
+    ASSERT_NE(bucket, std::string::npos);
+    ASSERT_NE(last, std::string::npos);
+    EXPECT_LT(first, mid);
+    EXPECT_LT(mid, bucket);
+    EXPECT_LT(bucket, last);
+}
+
+TEST(Registry, TracksLiveGroups)
+{
+    Registry &reg = Registry::global();
+    const std::size_t before = reg.numLive();
+    {
+        Group g("reg-live");
+        ++g.scalar("x");
+        EXPECT_EQ(reg.numLive(), before + 1);
+        EXPECT_EQ(reg.liveGroups().back(), &g);
+    }
+    EXPECT_EQ(reg.numLive(), before);
+}
+
+TEST(Registry, RetainsRetiredSnapshotsWhenEnabled)
+{
+    Registry &reg = Registry::global();
+    reg.clearRetired();
+    reg.setRetainRetired(true);
+    {
+        Group g("reg-retired");
+        g.scalar("events") += 7;
+        Group quiet("reg-quiet"); // empty: must not leave a snapshot
+    }
+    reg.setRetainRetired(false);
+    ASSERT_EQ(reg.numRetired(), 1u);
+    std::ostringstream os;
+    TextStatsWriter writer(os);
+    reg.accept(writer);
+    EXPECT_NE(os.str().find("reg-retired.events 7"), std::string::npos);
+    EXPECT_EQ(os.str().find("reg-quiet"), std::string::npos);
+    reg.clearRetired();
+    EXPECT_EQ(reg.numRetired(), 0u);
+}
+
+TEST(Registry, DetachedCopyDoesNotRegister)
+{
+    Registry &reg = Registry::global();
+    Group g("reg-copy-src");
+    ++g.scalar("n");
+    const std::size_t live = reg.numLive();
+    {
+        Group copy(g);
+        EXPECT_EQ(reg.numLive(), live); // copy never registered
+        EXPECT_DOUBLE_EQ(copy.scalar("n").value(), 1.0);
+    }
+    EXPECT_EQ(reg.numLive(), live); // copy's dtor must not deregister g
+    EXPECT_EQ(reg.liveGroups().back(), &g);
+}
+
+TEST(Registry, ResetAllCoversLiveGroups)
+{
+    Group g("reg-reset");
+    g.scalar("n") += 3;
+    Registry::global().resetAll();
+    EXPECT_DOUBLE_EQ(g.scalar("n").value(), 0.0);
+}
+
+TEST(JsonWriter, EmitsAllStatTypes)
+{
+    Group g("json");
+    g.scalar("s") += 2;
+    g.average("a").sample(4);
+    g.distribution("d").sample(8);
+    g.histogram("h", 0.0, 1.0, 2).sample(0.5);
+    std::ostringstream os;
+    {
+        JsonStatsWriter writer(os);
+        g.accept(writer);
+        writer.finish();
+    }
+    const std::string out = os.str();
+    EXPECT_NE(out.find("{\"groups\":["), std::string::npos);
+    EXPECT_NE(out.find("\"name\":\"json\""), std::string::npos);
+    EXPECT_NE(out.find("\"type\":\"scalar\",\"value\":2"),
+              std::string::npos);
+    EXPECT_NE(out.find("\"type\":\"average\",\"mean\":4,\"count\":1"),
+              std::string::npos);
+    EXPECT_NE(out.find("\"type\":\"distribution\""), std::string::npos);
+    EXPECT_NE(out.find("\"buckets\":[1,0]"), std::string::npos);
+    // Balanced document: finish() closed the arrays.
+    EXPECT_NE(out.find("\n]}"), std::string::npos);
+}
+
+TEST(JsonWriter, EmptyRegistryStillValidDocument)
+{
+    std::ostringstream os;
+    {
+        JsonStatsWriter writer(os);
+        writer.finish();
+    }
+    EXPECT_EQ(os.str(), "{\"groups\":[\n]}\n");
 }
 
 } // namespace

@@ -167,7 +167,8 @@ TEST_F(ConcurrentSoC, StatsSeparateCheckersPerDevice)
     soc.sim().runUntil([&] { return dma.done(); }, 200'000);
 
     std::ostringstream os;
-    soc.dumpStats(os);
+    stats::TextStatsWriter writer(os);
+    soc.accept(writer);
     const std::string stats = os.str();
     // Device 3 sits on master port 2: only ITS checker accumulated
     // stats (groups are lazy — quiet checkers emit nothing).

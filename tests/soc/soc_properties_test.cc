@@ -58,7 +58,8 @@ runOnce()
     soc.sim().runUntil([&] { return a.done() && b.done(); }, 1'000'000);
 
     std::ostringstream os;
-    soc.dumpStats(os);
+    stats::TextStatsWriter writer(os);
+    soc.accept(writer);
     return {std::max(a.completedAt(), b.completedAt()), os.str()};
 }
 

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Smoke harness for the simulation-core microbenchmark: configure,
 # build, run the tier-1 test suite, run sim_core_micro with a small
-# cycle budget, and validate the BENCH_sim_core.json schema.
+# cycle budget, validate the BENCH_sim_core.json schema, and validate
+# the Chrome trace-event schema of a traced dma_attack_demo run.
 #
 # Usage: tools/run_bench.sh [build-dir] [iters]
 
@@ -53,6 +54,39 @@ print("json schema OK")
 EOF
     # python3 unavailable: the grep-based key check above already ran.
     echo "json schema OK (grep-only: python3 unavailable)"
+}
+
+echo "== trace schema check (dma_attack_demo --trace) =="
+TRACE_JSON="$(mktemp /tmp/siopmp_trace.XXXXXX.json)"
+trap 'rm -f "$TRACE_JSON"' EXIT
+"$BUILD_DIR/examples/dma_attack_demo" "$TRACE_JSON" > /dev/null
+
+python3 - "$TRACE_JSON" <<'EOF' 2>/dev/null || {
+import json, sys
+d = json.load(open(sys.argv[1]))
+evs = d["traceEvents"]
+assert any(e.get("cat") == "bus" and e["ph"] == "b" for e in evs), "no bus spans"
+assert any(e.get("name") == "verdict" for e in evs), "no checker verdicts"
+assert any(e.get("name") == "violation" for e in evs), "no violation events"
+assert any(e.get("name") == "block_window" for e in evs), "no blocking window"
+assert any(e.get("cat") == "mem" for e in evs), "no memory service spans"
+spans = {}
+for e in evs:
+    if e["ph"] in ("b", "e"):
+        spans.setdefault((e.get("cat"), e["id"]), []).append(e["ph"])
+assert spans and all(p.count("b") == p.count("e") for p in spans.values()), \
+    "unbalanced async spans"
+print("trace schema OK: %d events" % len(evs))
+EOF
+    # python3 unavailable: fall back to grepping for the key records.
+    for pat in '"ph":"b"' '"name":"verdict"' '"name":"violation"' \
+               '"name":"block_window"' '"cat":"mem"'; do
+        grep -q "$pat" "$TRACE_JSON" || {
+            echo "trace schema FAILED: missing $pat" >&2
+            exit 1
+        }
+    done
+    echo "trace schema OK (grep-only: python3 unavailable)"
 }
 
 echo "run_bench: all checks passed"

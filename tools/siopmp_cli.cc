@@ -14,6 +14,13 @@
  *   siopmp-cli freq      [--entries N] [--stages N] [--kind lin|tree]
  *                        [--arity N]
  *
+ * Observability flags, accepted by every command:
+ *
+ *   --trace-out FILE   write a Chrome trace-event JSON of the run
+ *                      (load in Perfetto / chrome://tracing)
+ *   --stats-json FILE  write every stats group the run touched as JSON
+ *                      ("-" for stdout); see docs/OBSERVABILITY.md
+ *
  * Every command prints a single result line plus the key parameters,
  * suitable for scripting sweeps.
  */
@@ -21,9 +28,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "sim/stats.hh"
+#include "sim/trace.hh"
 #include "timing/frequency.hh"
 #include "timing/resource.hh"
 #include "workloads/hotcold.hh"
@@ -201,9 +213,73 @@ usage()
     std::fprintf(stderr,
                  "usage: siopmp-cli <latency|bandwidth|network|memcached|"
                  "hotcold|freq> [flags]\n"
+                 "       [--trace-out FILE] [--stats-json FILE|-]\n"
                  "run with a command and no flags for sane defaults; see "
                  "the file header for flags.\n");
 }
+
+/**
+ * Observability plumbing around one command: installs a Chrome trace
+ * sink for --trace-out, and turns on registry retention for
+ * --stats-json so groups owned by Socs that die inside the workload
+ * runner still appear in the dump.
+ */
+class Observability
+{
+  public:
+    explicit Observability(const Args &args)
+        : trace_path_(args.value("--trace-out", "")),
+          stats_path_(args.value("--stats-json", ""))
+    {
+        if (!trace_path_.empty()) {
+            trace_file_.open(trace_path_);
+            if (!trace_file_) {
+                std::fprintf(stderr, "cannot open %s\n",
+                             trace_path_.c_str());
+                std::exit(2);
+            }
+            trace_sink_ =
+                std::make_unique<trace::ChromeTraceSink>(trace_file_);
+            trace::tracer().setSink(trace_sink_.get());
+        }
+        if (!stats_path_.empty())
+            stats::Registry::global().setRetainRetired(true);
+    }
+
+    ~Observability()
+    {
+        if (trace_sink_) {
+            trace::tracer().setSink(nullptr);
+            trace_sink_->flush();
+            std::fprintf(stderr, "trace: %llu events -> %s\n",
+                         static_cast<unsigned long long>(
+                             trace_sink_->eventsWritten()),
+                         trace_path_.c_str());
+        }
+        if (!stats_path_.empty()) {
+            std::ofstream file;
+            std::ostream *os = &std::cout;
+            if (stats_path_ != "-") {
+                file.open(stats_path_);
+                if (!file) {
+                    std::fprintf(stderr, "cannot open %s\n",
+                                 stats_path_.c_str());
+                    return;
+                }
+                os = &file;
+            }
+            stats::JsonStatsWriter writer(*os);
+            stats::Registry::global().accept(writer);
+            writer.finish();
+        }
+    }
+
+  private:
+    std::string trace_path_;
+    std::string stats_path_;
+    std::ofstream trace_file_;
+    std::unique_ptr<trace::ChromeTraceSink> trace_sink_;
+};
 
 } // namespace
 
@@ -216,6 +292,7 @@ main(int argc, char **argv)
     }
     const std::string cmd = argv[1];
     const Args args(argc, argv);
+    const Observability observability(args);
     if (cmd == "latency")
         return cmdLatency(args);
     if (cmd == "bandwidth")

@@ -1,0 +1,330 @@
+/**
+ * @file
+ * ReferenceOracle implementation. Every rule here cites the spec text
+ * it implements; nothing is copied from src/iopmp.
+ */
+
+#include "check/oracle.hh"
+
+namespace siopmp {
+namespace check {
+
+using namespace oracle_regmap;
+
+namespace {
+
+inline constexpr std::uint64_t kBit63 = std::uint64_t{1} << 63;
+
+} // namespace
+
+ReferenceOracle::ReferenceOracle(unsigned num_entries, unsigned num_sids,
+                                 unsigned num_mds)
+    : num_sids_(num_sids),
+      num_mds_(num_mds),
+      entries_(num_entries),
+      stage_base_(num_entries, 0),
+      stage_size_(num_entries, 0),
+      md_bitmap_(num_sids, 0),
+      md_lock_(num_sids, 0),
+      tops_(num_mds, 0),
+      cam_(num_sids >= 1 ? num_sids - 1 : 0),
+      blocks_((num_sids + 63) / 64, 0)
+{
+}
+
+int
+ReferenceOracle::mdOfEntry(unsigned idx) const
+{
+    // §2.2: entry j belongs to MD m iff MD_{m-1}.T <= j < MD_m.T,
+    // with MD_{-1}.T == 0. A still-zero T means "not yet programmed"
+    // and owns nothing; the first programmed T above j decides, and j
+    // must sit at or above the preceding (possibly unprogrammed) T.
+    for (unsigned m = 0; m < num_mds_; ++m) {
+        if (idx < tops_[m]) {
+            const std::uint32_t lo = m == 0 ? 0 : tops_[m - 1];
+            return idx >= lo ? static_cast<int>(m) : -1;
+        }
+    }
+    return -1;
+}
+
+bool
+ReferenceOracle::contains(const Rule &rule, Addr addr, Addr len)
+{
+    if (rule.mode == 0 || len == 0)
+        return false;
+    // Subtraction form so regions/bursts ending at 2^64 never wrap.
+    return addr >= rule.base && len <= rule.size &&
+           addr - rule.base <= rule.size - len;
+}
+
+bool
+ReferenceOracle::intersects(const Rule &rule, Addr addr, Addr len)
+{
+    if (rule.mode == 0 || len == 0)
+        return false;
+    return addr >= rule.base ? addr - rule.base < rule.size
+                             : rule.base - addr < len;
+}
+
+ReferenceOracle::Verdict
+ReferenceOracle::authorize(DeviceId device, Addr addr, Addr len, Perm perm)
+{
+    // Stage 1 — SID resolution (§4.3 Fig 5): the CAM maps a hot
+    // device to its row address; the eSID register names the single
+    // mounted cold device, which uses the reserved last SID (§4.2).
+    Sid sid = kNoSid;
+    for (unsigned row = 0; row < cam_.size(); ++row) {
+        if (cam_[row].valid && cam_[row].device == device) {
+            sid = static_cast<Sid>(row);
+            break;
+        }
+    }
+    if (sid == kNoSid) {
+        if (esid_valid_ && esid_device_ == device) {
+            sid = static_cast<Sid>(num_sids_ - 1);
+        } else {
+            return {Status::SidMiss, kNoSid, -1};
+        }
+    }
+
+    // Stage 2 — §5.3 block bit: a blocked SID stalls before any
+    // permission logic, so rule updates are never half-visible.
+    if ((blocks_[sid / 64] >> (sid % 64)) & 1)
+        return {Status::Blocked, sid, -1};
+
+    // Stage 3 — §2.2 priority first-match over the SID's memory
+    // domains: lowest-index overlapping entry decides; partial
+    // coverage always denies; nothing overlapping denies by default.
+    const std::uint64_t bitmap = md_bitmap_[sid];
+    const std::uint8_t want = static_cast<std::uint8_t>(perm);
+    int deciding = -1;
+    for (unsigned idx = 0; idx < entries_.size(); ++idx) {
+        const int md = mdOfEntry(idx);
+        if (md < 0 || !((bitmap >> md) & 1))
+            continue;
+        const Rule &rule = entries_[idx];
+        if (contains(rule, addr, len)) {
+            if ((rule.perm & want) == want)
+                return {Status::Allow, sid, static_cast<int>(idx)};
+            deciding = static_cast<int>(idx);
+            break; // matched but insufficient permission: deny
+        }
+        if (intersects(rule, addr, len)) {
+            deciding = static_cast<int>(idx);
+            break; // partial coverage: deny (PMP heritage)
+        }
+    }
+
+    if (!err_valid_) {
+        err_valid_ = true;
+        err_addr_ = addr;
+        err_device_ = device;
+        err_perm_ = want;
+    }
+    return {Status::Deny, sid, deciding};
+}
+
+void
+ReferenceOracle::commitEntry(unsigned idx, std::uint64_t cfg_word)
+{
+    // CFG write commits the staged ADDR/SIZE atomically
+    // (docs/REGISTER_MAP.md): bits 1:0 perm, 3:2 mode, 7 lock.
+    const std::uint8_t perm = cfg_word & 0x3;
+    const unsigned mode_bits = (cfg_word >> 2) & 0x3;
+    const bool lock = (cfg_word >> 7) & 1;
+    const Addr base = stage_base_[idx];
+    const Addr size = stage_size_[idx];
+
+    // Mode 0 = off unless a valid encoding lands below. A malformed
+    // or off encoding leaves everything — including the perm bits —
+    // at the disabled-entry reset value.
+    Rule next;
+    if (mode_bits == 1 && size > 0) {
+        next.mode = 1;
+        next.perm = perm;
+        next.base = base;
+        next.size = size;
+    } else if (mode_bits == 2) {
+        // NAPOT: size a power of two >= 8, base size-aligned;
+        // malformed encodings leave the entry disabled.
+        if (size >= 8 && (size & (size - 1)) == 0 &&
+            (base & (size - 1)) == 0) {
+            next.mode = 2;
+            next.perm = perm;
+            next.base = base;
+            next.size = size;
+        }
+    } else if (mode_bits == 3) {
+        // TOR: region runs from the previous entry's end (0 for
+        // entry 0) up to the staged ADDR, resolved to a plain range
+        // at commit time.
+        const Addr lo =
+            idx == 0 ? 0 : entries_[idx - 1].base + entries_[idx - 1].size;
+        if (base > lo) {
+            next.mode = 1;
+            next.perm = perm;
+            next.base = lo;
+            next.size = base - lo;
+        }
+    }
+
+    // Lock rule: the MMIO window carries no machine-mode privilege,
+    // so a locked entry never changes and the write is rejected.
+    if (entries_[idx].lock) {
+        noteReject();
+    } else {
+        entries_[idx] = next;
+        if (lock)
+            entries_[idx].lock = true;
+    }
+    // Commit consumes the staged words either way.
+    stage_base_[idx] = 0;
+    stage_size_[idx] = 0;
+}
+
+void
+ReferenceOracle::writeReg(Addr offset, std::uint64_t value)
+{
+    if (offset >= kSrc2MdBase && offset < kSrc2MdBase + num_sids_ * 8) {
+        const unsigned sid = static_cast<unsigned>((offset - kSrc2MdBase) / 8);
+        const std::uint64_t bitmap = value & ~kBit63;
+        // Valid MD bits are [num_mds-1:0]; a locked row is frozen.
+        // The lock bit only latches when the bitmap itself landed.
+        const std::uint64_t mask =
+            num_mds_ >= 63 ? (kBit63 - 1)
+                           : ((std::uint64_t{1} << num_mds_) - 1);
+        if (md_lock_[sid] || (bitmap & ~mask)) {
+            noteReject();
+        } else {
+            md_bitmap_[sid] = bitmap;
+            if (value & kBit63)
+                md_lock_[sid] = 1;
+        }
+        return;
+    }
+    if (offset >= kMdCfgBase && offset < kMdCfgBase + num_mds_ * 8) {
+        const unsigned md = static_cast<unsigned>((offset - kMdCfgBase) / 8);
+        // T is bits 31:0 of the register.
+        const std::uint32_t top = static_cast<std::uint32_t>(value);
+        bool ok = top <= entries_.size();
+        // Monotone non-decreasing among programmed (non-zero) values.
+        for (unsigned m = 0; ok && m < md; ++m) {
+            if (top < tops_[m])
+                ok = false;
+        }
+        for (unsigned m = md + 1; ok && m < num_mds_; ++m) {
+            if (tops_[m] != 0 && top > tops_[m])
+                ok = false;
+        }
+        if (ok)
+            tops_[md] = top;
+        else
+            noteReject();
+        return;
+    }
+    if (offset >= kBlockBase && offset < kBlockBase + blocks_.size() * 8) {
+        const unsigned word = static_cast<unsigned>((offset - kBlockBase) / 8);
+        const unsigned sids_in_word =
+            num_sids_ - word * 64 >= 64 ? 64 : num_sids_ - word * 64;
+        const std::uint64_t mask =
+            sids_in_word == 64 ? ~std::uint64_t{0}
+                               : ((std::uint64_t{1} << sids_in_word) - 1);
+        blocks_[word] = value & mask;
+        return;
+    }
+    if (offset == kEsid) {
+        esid_valid_ = (value & kBit63) != 0;
+        esid_device_ = value & ~kBit63;
+        return;
+    }
+    if (offset == kErrInfo) {
+        err_valid_ = false; // interrupt acknowledge clears the record
+        return;
+    }
+    if (offset == kWriteRejects) {
+        write_rejects_ = 0;
+        return;
+    }
+    if (offset >= kCamBase && offset < kCamBase + cam_.size() * 8) {
+        const unsigned row = static_cast<unsigned>((offset - kCamBase) / 8);
+        if (value & kBit63) {
+            const DeviceId device = value & ~kBit63;
+            // A device occupies at most one row: binding drops any
+            // stale binding elsewhere.
+            for (auto &other : cam_) {
+                if (other.valid && other.device == device)
+                    other.valid = false;
+            }
+            cam_[row].valid = true;
+            cam_[row].device = device;
+        } else {
+            cam_[row].valid = false;
+        }
+        return;
+    }
+    if (offset >= kEntryBase &&
+        offset < kEntryBase + entries_.size() * kEntryStride) {
+        const unsigned idx =
+            static_cast<unsigned>((offset - kEntryBase) / kEntryStride);
+        const unsigned word =
+            static_cast<unsigned>((offset - kEntryBase) % kEntryStride) / 8;
+        switch (word) {
+          case 0: stage_base_[idx] = value; return;
+          case 1: stage_size_[idx] = value; return;
+          case 2: commitEntry(idx, value); return;
+          default: return; // reserved word
+        }
+    }
+    // Unknown/reserved offsets are dropped.
+}
+
+std::uint64_t
+ReferenceOracle::readReg(Addr offset) const
+{
+    if (offset >= kSrc2MdBase && offset < kSrc2MdBase + num_sids_ * 8) {
+        const unsigned sid = static_cast<unsigned>((offset - kSrc2MdBase) / 8);
+        return md_bitmap_[sid] | (md_lock_[sid] ? kBit63 : 0);
+    }
+    if (offset >= kMdCfgBase && offset < kMdCfgBase + num_mds_ * 8) {
+        const unsigned md = static_cast<unsigned>((offset - kMdCfgBase) / 8);
+        return tops_[md];
+    }
+    if (offset >= kBlockBase && offset < kBlockBase + blocks_.size() * 8)
+        return blocks_[static_cast<unsigned>((offset - kBlockBase) / 8)];
+    if (offset == kEsid)
+        return esid_valid_ ? (kBit63 | esid_device_) : 0;
+    if (offset == kErrAddr)
+        return err_valid_ ? err_addr_ : 0;
+    if (offset == kErrDevice)
+        return err_valid_ ? err_device_ : 0;
+    if (offset == kErrInfo)
+        return err_valid_ ? (kBit63 | err_perm_) : 0;
+    if (offset == kWriteRejects)
+        return write_rejects_;
+    if (offset >= kCamBase && offset < kCamBase + cam_.size() * 8) {
+        const unsigned row = static_cast<unsigned>((offset - kCamBase) / 8);
+        return cam_[row].valid ? (kBit63 | cam_[row].device) : 0;
+    }
+    if (offset >= kEntryBase &&
+        offset < kEntryBase + entries_.size() * kEntryStride) {
+        const unsigned idx =
+            static_cast<unsigned>((offset - kEntryBase) / kEntryStride);
+        const unsigned word =
+            static_cast<unsigned>((offset - kEntryBase) % kEntryStride) / 8;
+        const Rule &rule = entries_[idx];
+        switch (word) {
+          case 0: return rule.base;
+          case 1: return rule.size;
+          case 2:
+            return rule.perm |
+                   (static_cast<std::uint64_t>(rule.mode) << 2) |
+                   (rule.lock ? (std::uint64_t{1} << 7) : 0);
+          default: return 0;
+        }
+    }
+    return 0;
+}
+
+} // namespace check
+} // namespace siopmp

@@ -219,9 +219,13 @@ SecureMonitor::writeEntry(unsigned index, const iopmp::Entry &entry)
 Cycle
 SecureMonitor::blockSid(Sid sid, DeviceId device)
 {
+    // The block bitmap is windowed: word sid/64 carries bit sid%64
+    // (paper-scale configs have more than 64 SIDs).
+    const unsigned word = sid / 64;
     Cycle cost =
-        mmioWrite(kBlockBitmap, unit_->blockBitmap().raw() |
-                                    (std::uint64_t{1} << sid));
+        mmioWrite(kBlockBitmap + word * 8,
+                  unit_->blockBitmap().word(word) |
+                      (std::uint64_t{1} << (sid % 64)));
     // Wait for the checker pipeline and bus to drain this device's
     // transactions. With a live bus monitor we poll it; the polling
     // and bookkeeping cost is the configured overhead.
@@ -238,8 +242,10 @@ SecureMonitor::blockSid(Sid sid, DeviceId device)
 Cycle
 SecureMonitor::unblockSid(Sid sid)
 {
-    return mmioWrite(kBlockBitmap, unit_->blockBitmap().raw() &
-                                       ~(std::uint64_t{1} << sid));
+    const unsigned word = sid / 64;
+    return mmioWrite(kBlockBitmap + word * 8,
+                     unit_->blockBitmap().word(word) &
+                         ~(std::uint64_t{1} << (sid % 64)));
 }
 
 FwResult

@@ -8,12 +8,19 @@
  *
  * Blocking is per-SID by design: other devices keep full line rate
  * while one device's entries are being rewritten.
+ *
+ * The bitmap is backed by ceil(num_sids / 64) 64-bit words so that
+ * paper-scale configurations (§6: 1000+ devices) keep the §5.3
+ * atomic-update guarantee for every SID, not just the first 64. Word
+ * k covers SIDs [64k, 64k+63] and is exposed over MMIO as a windowed
+ * register (regmap::kBlockBitmap + 8*k).
  */
 
 #ifndef IOPMP_BLOCK_HH
 #define IOPMP_BLOCK_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "sim/types.hh"
 
@@ -23,10 +30,7 @@ namespace iopmp {
 class SidBlockBitmap
 {
   public:
-    explicit SidBlockBitmap(unsigned num_sids = 64)
-        : num_sids_(num_sids)
-    {
-    }
+    explicit SidBlockBitmap(unsigned num_sids = 64);
 
     /** Assert the block bit for @p sid. */
     void block(Sid sid);
@@ -40,13 +44,31 @@ class SidBlockBitmap
     void blockAll();
     void unblockAll();
 
-    std::uint64_t raw() const { return bits_; }
+    /** Number of 64-bit backing words: ceil(num_sids / 64). */
+    unsigned numWords() const
+    {
+        return static_cast<unsigned>(words_.size());
+    }
+
+    /** Word @p k of the bitmap; bit b is SID 64k + b. */
+    std::uint64_t word(unsigned k) const;
+
+    /** Replace word @p k wholesale (MMIO write). Bits beyond
+     * num_sids are ignored. */
+    void setWord(unsigned k, std::uint64_t bits);
+
+    /** Legacy single-word view: word 0 (SIDs 0..63). */
+    std::uint64_t raw() const { return word(0); }
+
     unsigned numSids() const { return num_sids_; }
 
   private:
-    bool valid(Sid sid) const { return sid < num_sids_ && sid < 64; }
+    bool valid(Sid sid) const { return sid < num_sids_; }
 
-    std::uint64_t bits_ = 0;
+    /** Valid-bit mask for word @p k (partial in the last word). */
+    std::uint64_t wordMask(unsigned k) const;
+
+    std::vector<std::uint64_t> words_;
     unsigned num_sids_;
 };
 

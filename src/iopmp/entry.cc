@@ -56,7 +56,12 @@ Entry::overlaps(Addr addr, Addr len) const
 {
     if (mode_ == EntryMode::Off || len == 0)
         return false;
-    return addr < base_ + size_ && base_ < addr + len;
+    // base_ + size_ and addr + len may both equal 2^64 (a region or
+    // burst ending at the top of the address space) and would wrap,
+    // so compare by subtraction like matches() does: when the burst
+    // starts at or above the base it overlaps iff it starts inside
+    // the region; otherwise iff the region's base is inside the burst.
+    return addr >= base_ ? addr - base_ < size_ : base_ - addr < len;
 }
 
 std::string

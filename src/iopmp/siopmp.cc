@@ -10,8 +10,25 @@
 namespace siopmp {
 namespace iopmp {
 
+namespace {
+
+/** Reject unusable sizings before any member is constructed (cfg_ is
+ * the first member, so this runs ahead of the CAM/table ctors and
+ * their opaque internal asserts). */
+IopmpConfig
+validated(IopmpConfig cfg)
+{
+    if (const char *error = cfg.validate()) {
+        fatal("invalid IopmpConfig{entries=%u, sids=%u, mds=%u}: %s",
+              cfg.num_entries, cfg.num_sids, cfg.num_mds, error);
+    }
+    return cfg;
+}
+
+} // namespace
+
 SIopmp::SIopmp(IopmpConfig cfg, CheckerKind kind, unsigned stages)
-    : cfg_(cfg),
+    : cfg_(validated(cfg)),
       entries_(cfg.num_entries),
       src2md_(cfg.num_sids, cfg.num_mds),
       mdcfg_(cfg.num_mds, cfg.num_entries),
@@ -43,6 +60,15 @@ SIopmp::raise(const Irq &irq)
 {
     if (irq_)
         irq_(irq);
+}
+
+void
+SIopmp::rejectWrite(Addr offset)
+{
+    ++write_rejects_;
+    ++stats_.scalar("mmio_write_rejects");
+    warn("siopmp: MMIO write to offset %#llx rejected (lock/validity)",
+         static_cast<unsigned long long>(offset));
 }
 
 AuthResult
@@ -111,8 +137,13 @@ SIopmp::mmioRead(Addr offset)
         const MdIndex md = static_cast<MdIndex>((offset - kMdCfgBase) / 8);
         return mdcfg_.top(md);
     }
-    if (offset == kBlockBitmap)
-        return blocks_.raw();
+    if (offset >= kBlockBitmap &&
+        offset < kBlockBitmap + blocks_.numWords() * 8) {
+        return blocks_.word(static_cast<unsigned>((offset - kBlockBitmap) /
+                                                  8));
+    }
+    if (offset == kWriteRejects)
+        return write_rejects_;
     if (offset == kEsid) {
         return esid_ ? ((std::uint64_t{1} << 63) | *esid_) : 0;
     }
@@ -161,23 +192,30 @@ SIopmp::mmioWrite(Addr offset, std::uint64_t value)
     if (offset >= kSrc2MdBase && offset < kSrc2MdBase + cfg_.num_sids * 8) {
         const Sid sid = static_cast<Sid>((offset - kSrc2MdBase) / 8);
         const bool lock = (value >> 63) & 1;
-        src2md_.setBitmap(sid, value & ~(std::uint64_t{1} << 63));
-        if (lock)
-            src2md_.lock(sid);
+        if (src2md_.setBitmap(sid, value & ~(std::uint64_t{1} << 63))) {
+            // The lock bit takes effect only when the bitmap landed:
+            // a rejected write must not freeze state it never set.
+            if (lock)
+                src2md_.lock(sid);
+        } else {
+            rejectWrite(offset);
+        }
         return;
     }
     if (offset >= kMdCfgBase && offset < kMdCfgBase + cfg_.num_mds * 8) {
         const MdIndex md = static_cast<MdIndex>((offset - kMdCfgBase) / 8);
-        mdcfg_.setTop(md, static_cast<unsigned>(value));
+        if (!mdcfg_.setTop(md, static_cast<unsigned>(value)))
+            rejectWrite(offset);
         return;
     }
-    if (offset == kBlockBitmap) {
-        for (Sid sid = 0; sid < cfg_.num_sids && sid < 64; ++sid) {
-            if ((value >> sid) & 1)
-                blocks_.block(sid);
-            else
-                blocks_.unblock(sid);
-        }
+    if (offset >= kBlockBitmap &&
+        offset < kBlockBitmap + blocks_.numWords() * 8) {
+        blocks_.setWord(static_cast<unsigned>((offset - kBlockBitmap) / 8),
+                        value);
+        return;
+    }
+    if (offset == kWriteRejects) {
+        write_rejects_ = 0;
         return;
     }
     if (offset == kEsid) {
@@ -244,9 +282,16 @@ SIopmp::mmioWrite(Addr offset, std::uint64_t value)
                     entry = Entry::range(lo, stage.base - lo, perm);
                 }
             }
-            entries_.set(idx, entry);
-            if (lock)
-                entries_.lock(idx);
+            // The MMIO window is the S-mode-reachable path: it must
+            // never override an entry lock, so the privilege flag is
+            // explicit and false here (the monitor pins rules by
+            // locking them and relies on exactly this).
+            if (entries_.set(idx, entry, /*machine_mode=*/false)) {
+                if (lock)
+                    entries_.lock(idx);
+            } else {
+                rejectWrite(offset);
+            }
             entry_stage_.erase(idx);
             return;
           }

@@ -69,11 +69,17 @@ inline constexpr unsigned kModeTor = 3;
 
 inline constexpr Addr kSrc2MdBase = 0x00000; //!< + sid * 8
 inline constexpr Addr kMdCfgBase = 0x01000;  //!< + md * 8
+//! Windowed block bitmap: word k at kBlockBitmap + 8*k covers SIDs
+//! [64k, 64k+63]; ceil(num_sids/64) words are mapped (window reserved
+//! up to kEsid, i.e. 2048 SIDs).
 inline constexpr Addr kBlockBitmap = 0x02000;
-inline constexpr Addr kEsid = 0x02008;       //!< valid<<63 | device id
-inline constexpr Addr kErrAddr = 0x02010;
-inline constexpr Addr kErrDevice = 0x02018;
-inline constexpr Addr kErrInfo = 0x02020;    //!< valid<<63 | perm
+inline constexpr Addr kEsid = 0x02800;       //!< valid<<63 | device id
+inline constexpr Addr kErrAddr = 0x02808;
+inline constexpr Addr kErrDevice = 0x02810;
+inline constexpr Addr kErrInfo = 0x02818;    //!< valid<<63 | perm
+//! Count of config writes rejected by lock/validity rules (read-only;
+//! writing any value clears it).
+inline constexpr Addr kWriteRejects = 0x02820;
 inline constexpr Addr kCamBase = 0x03000;    //!< + sid * 8; valid<<63|dev
 inline constexpr Addr kEntryBase = 0x10000;  //!< + idx * 32
 inline constexpr Addr kEntryStride = 32;     //!< base,size,cfg,pad
@@ -127,6 +133,15 @@ class SIopmp : public mem::MmioDevice
     std::optional<ViolationRecord> violationRecord() const;
     void clearViolationRecord() { violation_.reset(); }
 
+    /**
+     * MMIO configuration writes rejected since the last clear: entry
+     * rewrites blocked by a lock, locked/invalid SRC2MD bitmaps,
+     * non-monotone MDCFG tops. Also exposed as the kWriteRejects
+     * register and the "mmio_write_rejects" stat, so silently-ignored
+     * programming shows up in the CLI and in --stats-json.
+     */
+    std::uint64_t rejectedWrites() const { return write_rejects_; }
+
     void setIrqHandler(IrqHandler handler) { irq_ = std::move(handler); }
 
     stats::Group &statsGroup() { return stats_; }
@@ -139,6 +154,9 @@ class SIopmp : public mem::MmioDevice
   private:
     void raise(const Irq &irq);
 
+    /** Note one rejected MMIO config write at @p offset. */
+    void rejectWrite(Addr offset);
+
     IopmpConfig cfg_;
     EntryTable entries_;
     Src2MdTable src2md_;
@@ -150,6 +168,7 @@ class SIopmp : public mem::MmioDevice
     std::optional<ViolationRecord> violation_;
     IrqHandler irq_;
     stats::Group stats_;
+    std::uint64_t write_rejects_ = 0;
 
     // MMIO staging for entry writes (base/size latched, cfg commits).
     struct EntryStage {

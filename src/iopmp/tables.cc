@@ -10,6 +10,20 @@
 namespace siopmp {
 namespace iopmp {
 
+const char *
+IopmpConfig::validate() const
+{
+    if (num_sids < 2) {
+        return "num_sids must be >= 2: the last SID is reserved for the "
+               "mounted cold device, so at least one hot SID is required";
+    }
+    if (num_mds < 1 || num_mds > 63)
+        return "num_mds must be in [1, 63] (SRC2MD bitmap is MD[62:0])";
+    if (num_entries < 1)
+        return "num_entries must be >= 1";
+    return nullptr;
+}
+
 EntryTable::EntryTable(unsigned num_entries) : entries_(num_entries) {}
 
 const Entry &

@@ -30,6 +30,15 @@ struct IopmpConfig {
 
     /** MD index reserved for mounted cold devices (§4.2). */
     MdIndex coldMd() const { return num_mds - 1; }
+
+    /**
+     * Structural validity check. Returns nullptr when the sizing is
+     * usable, or a human-readable description of the first problem —
+     * e.g. num_sids == 1 leaves no hot SID beside the reserved cold
+     * slot, which would otherwise surface as an obscure CAM assert
+     * deep inside SIopmp's constructor.
+     */
+    const char *validate() const;
 };
 
 /**
@@ -46,12 +55,15 @@ class EntryTable
 
     /**
      * Write entry @p idx. Fails (returns false) if the existing entry
-     * is locked and @p machine_mode is false.
+     * is locked and @p machine_mode is false. The default is the
+     * unprivileged path: callers acting as the machine-mode monitor
+     * must ask for the override explicitly, so a forgotten flag can
+     * never silently rewrite a locked rule.
      */
-    bool set(unsigned idx, const Entry &entry, bool machine_mode = true);
+    bool set(unsigned idx, const Entry &entry, bool machine_mode = false);
 
     /** Clear (disable) entry @p idx; same lock rule as set(). */
-    bool clear(unsigned idx, bool machine_mode = true);
+    bool clear(unsigned idx, bool machine_mode = false);
 
     /** Lock entry @p idx (sticky until reset). */
     void lock(unsigned idx);

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Unit tests for the first-principles reference oracle (src/check).
+ * The oracle is the fuzzer's ground truth, so its own semantics get
+ * pinned down here directly against the paper's rules — without going
+ * through SIopmp at all.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/oracle.hh"
+
+namespace siopmp {
+namespace check {
+namespace {
+
+using namespace oracle_regmap;
+
+constexpr std::uint64_t kBit63 = std::uint64_t{1} << 63;
+
+using Status = ReferenceOracle::Status;
+
+class OracleTest : public ::testing::Test
+{
+  protected:
+    OracleTest() : oracle(16, 8, 4)
+    {
+        // MD 0 owns entries [0, 4), MD 1 owns [4, 8).
+        oracle.writeReg(kMdCfgBase + 0 * 8, 4);
+        oracle.writeReg(kMdCfgBase + 1 * 8, 8);
+        // SID 0 sees MD 0; SID 1 sees MD 1; device 7 -> SID 0,
+        // device 9 -> SID 1.
+        oracle.writeReg(kSrc2MdBase + 0 * 8, 0b01);
+        oracle.writeReg(kSrc2MdBase + 1 * 8, 0b10);
+        oracle.writeReg(kCamBase + 0 * 8, kBit63 | 7);
+        oracle.writeReg(kCamBase + 1 * 8, kBit63 | 9);
+    }
+
+    void
+    entry(unsigned idx, Addr base, Addr size, unsigned perm,
+          unsigned mode = 1, bool lock = false)
+    {
+        const Addr e = kEntryBase + Addr{idx} * kEntryStride;
+        oracle.writeReg(e + 0, base);
+        oracle.writeReg(e + 8, size);
+        oracle.writeReg(e + 16, perm | (mode << 2) | (lock ? 0x80 : 0));
+    }
+
+    ReferenceOracle oracle;
+};
+
+TEST_F(OracleTest, AllowsContainedAccessWithPermission)
+{
+    entry(0, 0x1000, 0x1000, 0x3);
+    const auto v = oracle.authorize(7, 0x1800, 8, Perm::Read);
+    EXPECT_EQ(v.status, Status::Allow);
+    EXPECT_EQ(v.sid, 0u);
+    EXPECT_EQ(v.entry, 0);
+}
+
+TEST_F(OracleTest, DeniesInsufficientPermission)
+{
+    entry(0, 0x1000, 0x1000, 0x1); // read-only
+    const auto v = oracle.authorize(7, 0x1800, 8, Perm::Write);
+    EXPECT_EQ(v.status, Status::Deny);
+    EXPECT_EQ(v.entry, 0);
+}
+
+TEST_F(OracleTest, DeniesPartialOverlap)
+{
+    entry(0, 0x1000, 0x1000, 0x3);
+    // Straddles the region's end: partial coverage always denies.
+    const auto v = oracle.authorize(7, 0x1ff8, 0x10, Perm::Read);
+    EXPECT_EQ(v.status, Status::Deny);
+    EXPECT_EQ(v.entry, 0);
+}
+
+TEST_F(OracleTest, NoOverlapDeniesWithNoEntry)
+{
+    entry(0, 0x1000, 0x1000, 0x3);
+    const auto v = oracle.authorize(7, 0x9000, 8, Perm::Read);
+    EXPECT_EQ(v.status, Status::Deny);
+    EXPECT_EQ(v.entry, -1);
+}
+
+TEST_F(OracleTest, LowestIndexEntryDecides)
+{
+    entry(0, 0x1000, 0x1000, 0x1); // read-only ...
+    entry(1, 0x1000, 0x1000, 0x3); // ... shadows rw at lower priority
+    const auto v = oracle.authorize(7, 0x1800, 8, Perm::Write);
+    EXPECT_EQ(v.status, Status::Deny);
+    EXPECT_EQ(v.entry, 0); // entry 1 never consulted (§2.2 first-match)
+}
+
+TEST_F(OracleTest, MdWindowingScopesEntries)
+{
+    entry(4, 0x4000, 0x1000, 0x3); // entry 4 belongs to MD 1
+    // SID 0 is associated with MD 0 only: entry 4 is invisible.
+    EXPECT_EQ(oracle.authorize(7, 0x4800, 8, Perm::Read).status,
+              Status::Deny);
+    // SID 1 (device 9) sees MD 1 and is allowed.
+    EXPECT_EQ(oracle.authorize(9, 0x4800, 8, Perm::Read).status,
+              Status::Allow);
+}
+
+TEST_F(OracleTest, UnknownDeviceIsSidMiss)
+{
+    const auto v = oracle.authorize(12345, 0x1000, 8, Perm::Read);
+    EXPECT_EQ(v.status, Status::SidMiss);
+    EXPECT_EQ(v.sid, kNoSid);
+    EXPECT_EQ(v.entry, -1);
+}
+
+TEST_F(OracleTest, EsidResolvesColdDeviceToLastSid)
+{
+    oracle.writeReg(kEsid, kBit63 | 4242);
+    // Cold SID (7 here) gets MD 0 so the check can land.
+    oracle.writeReg(kSrc2MdBase + 7 * 8, 0b01);
+    entry(0, 0x1000, 0x1000, 0x3);
+    const auto v = oracle.authorize(4242, 0x1000, 8, Perm::Read);
+    EXPECT_EQ(v.status, Status::Allow);
+    EXPECT_EQ(v.sid, 7u);
+    // Unmounting makes it a SID miss again.
+    oracle.writeReg(kEsid, 0);
+    EXPECT_EQ(oracle.authorize(4242, 0x1000, 8, Perm::Read).status,
+              Status::SidMiss);
+}
+
+TEST_F(OracleTest, BlockBitStallsBeforePermissionLogic)
+{
+    entry(0, 0x1000, 0x1000, 0x3);
+    oracle.writeReg(kBlockBase, 0b1); // block SID 0
+    const auto v = oracle.authorize(7, 0x1800, 8, Perm::Read);
+    EXPECT_EQ(v.status, Status::Blocked);
+    EXPECT_EQ(v.sid, 0u);
+    oracle.writeReg(kBlockBase, 0);
+    EXPECT_EQ(oracle.authorize(7, 0x1800, 8, Perm::Read).status,
+              Status::Allow);
+}
+
+TEST_F(OracleTest, MultiWordBlockBitCoversHighSids)
+{
+    ReferenceOracle wide(8, 128, 4);
+    wide.writeReg(kCamBase + 100 * 8, kBit63 | 55); // device 55 -> SID 100
+    wide.writeReg(kBlockBase + 8, std::uint64_t{1} << 36); // SID 100
+    const auto v = wide.authorize(55, 0x1000, 8, Perm::Read);
+    EXPECT_EQ(v.status, Status::Blocked);
+    EXPECT_EQ(v.sid, 100u);
+    // SID 36 (word 0, same bit position) is unaffected.
+    wide.writeReg(kCamBase + 36 * 8, kBit63 | 56);
+    EXPECT_NE(wide.authorize(56, 0x1000, 8, Perm::Read).status,
+              Status::Blocked);
+}
+
+TEST_F(OracleTest, ZeroLengthNeverMatches)
+{
+    entry(0, 0x1000, 0x1000, 0x3);
+    const auto v = oracle.authorize(7, 0x1800, 0, Perm::Read);
+    EXPECT_EQ(v.status, Status::Deny);
+    EXPECT_EQ(v.entry, -1);
+}
+
+TEST_F(OracleTest, RegionEndingAtTopOfAddressSpace)
+{
+    const Addr top = ~Addr{0} - 0xfff; // 2^64 - 0x1000
+    entry(0, top, 0x1000, 0x3);
+    EXPECT_EQ(oracle.authorize(7, top + 0xff8, 8, Perm::Read).status,
+              Status::Allow);
+    // Burst straddling the region's start: partial -> deny, entry 0.
+    const auto v = oracle.authorize(7, top - 8, 0x10, Perm::Read);
+    EXPECT_EQ(v.status, Status::Deny);
+    EXPECT_EQ(v.entry, 0);
+}
+
+TEST_F(OracleTest, LockedEntryRejectsRecommit)
+{
+    entry(0, 0x1000, 0x1000, 0x3, /*mode=*/1, /*lock=*/true);
+    EXPECT_EQ(oracle.rejectedWrites(), 0u);
+    entry(0, 0x9000, 0x100, 0x3);
+    EXPECT_EQ(oracle.rejectedWrites(), 1u);
+    // The rule is unchanged and still decides.
+    EXPECT_EQ(oracle.readReg(kEntryBase + 0), 0x1000u);
+    EXPECT_EQ(oracle.authorize(7, 0x1800, 8, Perm::Read).status,
+              Status::Allow);
+    // kWriteRejects reads the count; writing clears it.
+    EXPECT_EQ(oracle.readReg(kWriteRejects), 1u);
+    oracle.writeReg(kWriteRejects, 0);
+    EXPECT_EQ(oracle.readReg(kWriteRejects), 0u);
+}
+
+TEST_F(OracleTest, LockedSrc2MdRowFreezesAndCounts)
+{
+    oracle.writeReg(kSrc2MdBase + 2 * 8, kBit63 | 0b11);
+    oracle.writeReg(kSrc2MdBase + 2 * 8, 0b01); // frozen: rejected
+    EXPECT_EQ(oracle.rejectedWrites(), 1u);
+    EXPECT_EQ(oracle.readReg(kSrc2MdBase + 2 * 8), kBit63 | 0b11);
+}
+
+TEST_F(OracleTest, InvalidBitmapRejectedWithoutLatchingLock)
+{
+    // MD bits past num_mds (4 here) are invalid: the write bounces
+    // and the lock bit must NOT latch.
+    oracle.writeReg(kSrc2MdBase + 3 * 8, kBit63 | (std::uint64_t{1} << 10));
+    EXPECT_EQ(oracle.rejectedWrites(), 1u);
+    oracle.writeReg(kSrc2MdBase + 3 * 8, 0b11); // still writable
+    EXPECT_EQ(oracle.readReg(kSrc2MdBase + 3 * 8), 0b11u);
+}
+
+TEST_F(OracleTest, MdcfgMonotonicityRejectionCounts)
+{
+    // Fixture set T0=4, T1=8; T1 below T0 must bounce.
+    oracle.writeReg(kMdCfgBase + 1 * 8, 2);
+    EXPECT_EQ(oracle.rejectedWrites(), 1u);
+    EXPECT_EQ(oracle.readReg(kMdCfgBase + 1 * 8), 8u);
+}
+
+TEST_F(OracleTest, ViolationRecordLatchesFirstDeny)
+{
+    entry(0, 0x1000, 0x1000, 0x1);
+    oracle.authorize(7, 0x1000, 8, Perm::Write); // first deny latches
+    oracle.authorize(7, 0x5000, 8, Perm::Read);  // second doesn't
+    EXPECT_EQ(oracle.readReg(kErrAddr), 0x1000u);
+    EXPECT_EQ(oracle.readReg(kErrDevice), 7u);
+    EXPECT_EQ(oracle.readReg(kErrInfo),
+              kBit63 | static_cast<std::uint64_t>(Perm::Write));
+    oracle.writeReg(kErrInfo, 0); // acknowledge
+    EXPECT_EQ(oracle.readReg(kErrInfo), 0u);
+    EXPECT_EQ(oracle.readReg(kErrAddr), 0u);
+}
+
+TEST_F(OracleTest, TorResolvesAgainstPreviousEntry)
+{
+    entry(0, 0x8000, 0x1000, 0x1);
+    // Entry 1 TOR up to 0xa000: resolves to [0x9000, 0xa000).
+    const Addr e1 = kEntryBase + kEntryStride;
+    oracle.writeReg(e1 + 0, 0xa000);
+    oracle.writeReg(e1 + 16, 0x3 | (3u << 2));
+    EXPECT_EQ(oracle.readReg(e1 + 0), 0x9000u);
+    EXPECT_EQ(oracle.readReg(e1 + 8), 0x1000u);
+    EXPECT_EQ(oracle.authorize(7, 0x9800, 8, Perm::Write).status,
+              Status::Allow);
+}
+
+TEST_F(OracleTest, MalformedNapotCommitsToOff)
+{
+    entry(0, 0x1004, 0x1000, 0x3, /*mode=*/2); // misaligned base
+    EXPECT_EQ(oracle.readReg(kEntryBase + 16), 0u); // off, perm 0
+    EXPECT_EQ(oracle.authorize(7, 0x1800, 8, Perm::Read).status,
+              Status::Deny);
+}
+
+} // namespace
+} // namespace check
+} // namespace siopmp

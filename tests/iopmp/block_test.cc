@@ -68,6 +68,40 @@ TEST(BlockBitmap, RawMirrorsBits)
     EXPECT_EQ(b.raw(), 0b1001u);
 }
 
+TEST(BlockBitmap, MultiWordBlockingCoversHighSids)
+{
+    // Regression: with a single backing word, SIDs >= 64 could never
+    // be blocked — the §5.3 atomic-update guarantee silently vanished
+    // at paper scale.
+    SidBlockBitmap b(128);
+    EXPECT_EQ(b.numWords(), 2u);
+    b.block(100);
+    EXPECT_TRUE(b.blocked(100));
+    EXPECT_FALSE(b.blocked(36)); // same bit position, word 0
+    EXPECT_EQ(b.word(1), std::uint64_t{1} << 36);
+    EXPECT_EQ(b.word(0), 0u);
+    b.unblock(100);
+    EXPECT_FALSE(b.blocked(100));
+}
+
+TEST(BlockBitmap, BlockAllMasksPartialTailWord)
+{
+    SidBlockBitmap b(100);
+    b.blockAll();
+    EXPECT_EQ(b.word(0), ~std::uint64_t{0});
+    EXPECT_EQ(b.word(1), (std::uint64_t{1} << 36) - 1); // SIDs 64..99
+    b.unblockAll();
+    EXPECT_EQ(b.word(1), 0u);
+}
+
+TEST(BlockBitmap, SetWordMasksInvalidBits)
+{
+    SidBlockBitmap b(72); // word 1 only has SIDs 64..71
+    b.setWord(1, ~std::uint64_t{0});
+    EXPECT_EQ(b.word(1), 0xffu);
+    EXPECT_TRUE(b.blocked(71));
+}
+
 TEST(BlockBitmapDeath, OutOfRangeBlockAsserts)
 {
     SidBlockBitmap b(8);

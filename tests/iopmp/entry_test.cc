@@ -105,6 +105,33 @@ TEST(Entry, HugeRangeNoOverflow)
     EXPECT_TRUE(e.matches(0xffffffffff000000ULL, 0x1000));
 }
 
+TEST(Entry, OverlapsAtTopOfAddressSpace)
+{
+    // Region [2^64 - 0x1000, 2^64): base + size wraps to exactly 0.
+    // Regression for the additive overlap test, which overflowed and
+    // reported "no overlap" for anything touching this region.
+    const Addr top = ~Addr{0} - 0xfff;
+    Entry e = Entry::range(top, 0x1000, Perm::Read);
+    EXPECT_TRUE(e.matches(top, 0x1000));
+    EXPECT_TRUE(e.matches(top + 0xff8, 8));
+    EXPECT_TRUE(e.overlaps(top + 0x800, 0x100));
+    // Burst straddling the region's start, ending exactly at 2^64:
+    // overlaps but does not fully match.
+    EXPECT_TRUE(e.overlaps(top - 8, 0x1008));
+    EXPECT_FALSE(e.matches(top - 8, 0x1008));
+    // Below the region entirely.
+    EXPECT_FALSE(e.overlaps(top - 0x100, 0x100));
+}
+
+TEST(Entry, WholeAddressSpaceBurstOverlaps)
+{
+    Entry e = Entry::range(0x4000, 0x1000, Perm::Read);
+    // len == 2^64 - addr: the burst runs to the top of the space.
+    EXPECT_TRUE(e.overlaps(0x0, ~Addr{0}));
+    EXPECT_FALSE(e.matches(0x0, ~Addr{0}));
+    EXPECT_TRUE(e.overlaps(0x4800, ~Addr{0} - 0x4800 + 1));
+}
+
 } // namespace
 } // namespace iopmp
 } // namespace siopmp

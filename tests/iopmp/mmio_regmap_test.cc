@@ -195,6 +195,39 @@ TEST_F(RegmapTest, ErrorRecordReadableAndAckable)
     EXPECT_EQ(rd(regmap::kErrAddr), 0u);
 }
 
+TEST_F(RegmapTest, BlockWindowBeyondWordZero)
+{
+    // Wide configuration: the block bitmap is a windowed register,
+    // word k at kBlockBitmap + 8*k. Regression for the hole where
+    // only word 0 was wired and SIDs >= 64 could never be blocked.
+    SIopmp wide(IopmpConfig{48, 128, 8}, CheckerKind::Linear, 1);
+    wide.cam().set(100, 55); // device 55 -> SID 100
+
+    wide.mmioWrite(regmap::kBlockBitmap + 8, std::uint64_t{1} << 36);
+    EXPECT_TRUE(wide.blockBitmap().blocked(100));
+    EXPECT_EQ(wide.mmioRead(regmap::kBlockBitmap + 8),
+              std::uint64_t{1} << 36);
+    EXPECT_EQ(wide.mmioRead(regmap::kBlockBitmap), 0u); // word 0 clear
+
+    EXPECT_EQ(wide.authorize(55, 0x1000, 8, Perm::Read).status,
+              AuthStatus::Blocked);
+    wide.mmioWrite(regmap::kBlockBitmap + 8, 0);
+    EXPECT_NE(wide.authorize(55, 0x1000, 8, Perm::Read).status,
+              AuthStatus::Blocked);
+}
+
+TEST_F(RegmapTest, BlockWindowDoesNotCollideWithControlRegisters)
+{
+    // The window reserves room up to kEsid: the last mapped word and
+    // the first control register must not alias.
+    EXPECT_LT(regmap::kBlockBitmap + 8 * ((2048 / 64) - 1), regmap::kEsid);
+    SIopmp wide(IopmpConfig{48, 128, 8}, CheckerKind::Linear, 1);
+    wide.mmioWrite(regmap::kEsid, (std::uint64_t{1} << 63) | 7777);
+    EXPECT_EQ(wide.blockBitmap().word(1), 0u);
+    ASSERT_TRUE(wide.mountedCold().has_value());
+    EXPECT_EQ(*wide.mountedCold(), 7777u);
+}
+
 TEST_F(RegmapTest, DeterministicMmioCost)
 {
     bus.resetAccounting();

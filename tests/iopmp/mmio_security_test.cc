@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Regression tests for the MMIO write-rejection semantics: locked
+ * entries and SRC2MD rows must survive rewrite attempts from the bus,
+ * and every rejected configuration write must be observable (the
+ * kWriteRejects register plus the "mmio_write_rejects" stat) instead
+ * of vanishing silently.
+ *
+ * These pin down two fixed bugs: EntryTable::set defaulting to
+ * machine-mode privilege (so MMIO writes silently bypassed entry
+ * locks) and rejected writes leaving no architecturally visible
+ * trace.
+ */
+
+#include <gtest/gtest.h>
+
+#include "iopmp/siopmp.hh"
+#include "sim/logging.hh"
+
+namespace siopmp {
+namespace iopmp {
+namespace {
+
+constexpr std::uint64_t kLockBit = 0x80;
+constexpr std::uint64_t kBit63 = std::uint64_t{1} << 63;
+
+class MmioSecurityTest : public ::testing::Test
+{
+  protected:
+    MmioSecurityTest()
+        : unit(IopmpConfig{16, 16, 8}, CheckerKind::Linear, 1),
+          was_quiet_(Logger::quiet())
+    {
+        // Rejected writes warn by design; keep test output clean.
+        Logger::setQuiet(true);
+    }
+
+    ~MmioSecurityTest() override { Logger::setQuiet(was_quiet_); }
+
+    void
+    commitEntry(unsigned idx, Addr base, Addr size, std::uint64_t cfg)
+    {
+        const Addr e = regmap::kEntryBase + Addr{idx} * regmap::kEntryStride;
+        unit.mmioWrite(e + 0, base);
+        unit.mmioWrite(e + 8, size);
+        unit.mmioWrite(e + 16, cfg);
+    }
+
+    SIopmp unit;
+    bool was_quiet_;
+};
+
+TEST_F(MmioSecurityTest, LockedEntrySurvivesMmioRewrite)
+{
+    const std::uint64_t cfg = static_cast<std::uint64_t>(Perm::Read) |
+                              (regmap::kModeRange << 2);
+    commitEntry(3, 0x1000, 0x1000, cfg | kLockBit);
+    ASSERT_TRUE(unit.entryTable().get(3).enabled());
+    ASSERT_TRUE(unit.entryTable().get(3).locked());
+
+    // An attacker-style rewrite over MMIO must bounce: with the old
+    // machine_mode=true default in EntryTable::set it went through.
+    commitEntry(3, 0x9000, 0x100,
+                static_cast<std::uint64_t>(Perm::ReadWrite) |
+                    (regmap::kModeRange << 2));
+    const Entry &entry = unit.entryTable().get(3);
+    EXPECT_EQ(entry.base(), 0x1000u);
+    EXPECT_EQ(entry.size(), 0x1000u);
+    EXPECT_EQ(entry.perm(), Perm::Read);
+    EXPECT_EQ(unit.rejectedWrites(), 1u);
+}
+
+TEST_F(MmioSecurityTest, WriteRejectsRegisterReadsAndClears)
+{
+    const std::uint64_t cfg = static_cast<std::uint64_t>(Perm::Read) |
+                              (regmap::kModeRange << 2) | kLockBit;
+    commitEntry(0, 0x1000, 0x1000, cfg);
+    commitEntry(0, 0x2000, 0x1000, cfg); // rejected: locked
+    commitEntry(0, 0x3000, 0x1000, cfg); // rejected: still locked
+    EXPECT_EQ(unit.mmioRead(regmap::kWriteRejects), 2u);
+    unit.mmioWrite(regmap::kWriteRejects, 0); // any value clears
+    EXPECT_EQ(unit.mmioRead(regmap::kWriteRejects), 0u);
+    EXPECT_EQ(unit.rejectedWrites(), 0u);
+}
+
+TEST_F(MmioSecurityTest, RejectedWritesVisibleInStats)
+{
+    auto &rejects = unit.statsGroup().scalar("mmio_write_rejects");
+    const std::uint64_t cfg = static_cast<std::uint64_t>(Perm::Read) |
+                              (regmap::kModeRange << 2) | kLockBit;
+    commitEntry(0, 0x1000, 0x1000, cfg);
+    EXPECT_EQ(rejects.value(), 0.0);
+    commitEntry(0, 0x2000, 0x1000, cfg);
+    EXPECT_EQ(rejects.value(), 1.0);
+    // Clearing the register does not rewind the cumulative stat.
+    unit.mmioWrite(regmap::kWriteRejects, 0);
+    EXPECT_EQ(rejects.value(), 1.0);
+}
+
+TEST_F(MmioSecurityTest, LockedSrc2MdRowRejectionCounted)
+{
+    unit.mmioWrite(regmap::kSrc2MdBase + 4 * 8, kBit63 | 0b11);
+    unit.mmioWrite(regmap::kSrc2MdBase + 4 * 8, 0b1);
+    EXPECT_EQ(unit.src2md().bitmap(4), 0b11u);
+    EXPECT_EQ(unit.rejectedWrites(), 1u);
+}
+
+TEST_F(MmioSecurityTest, InvalidBitmapDoesNotLatchLock)
+{
+    // Lock bit rides on a bitmap with an out-of-range MD bit (num_mds
+    // is 8 here): the write must bounce *without* freezing the row.
+    unit.mmioWrite(regmap::kSrc2MdBase + 5 * 8,
+                   kBit63 | (std::uint64_t{1} << 12));
+    EXPECT_EQ(unit.rejectedWrites(), 1u);
+    EXPECT_FALSE(unit.src2md().locked(5));
+    unit.mmioWrite(regmap::kSrc2MdBase + 5 * 8, 0b101);
+    EXPECT_EQ(unit.src2md().bitmap(5), 0b101u);
+}
+
+TEST_F(MmioSecurityTest, NonMonotoneMdcfgRejectionCounted)
+{
+    unit.mmioWrite(regmap::kMdCfgBase + 0 * 8, 8);
+    unit.mmioWrite(regmap::kMdCfgBase + 1 * 8, 4); // below T0: bounce
+    EXPECT_EQ(unit.mdcfg().top(1), 0u);
+    EXPECT_EQ(unit.rejectedWrites(), 1u);
+}
+
+TEST_F(MmioSecurityTest, LockedEntryStillDecidesDataPath)
+{
+    // End-to-end: a locked read-only rule keeps governing the data
+    // path even after a rewrite attempt tried to widen it.
+    unit.cam().set(0, 7);
+    unit.src2md().associate(0, 0);
+    unit.mdcfg().setTop(0, 4);
+    commitEntry(0, 0x1000, 0x1000,
+                static_cast<std::uint64_t>(Perm::Read) |
+                    (regmap::kModeRange << 2) | kLockBit);
+    commitEntry(0, 0x1000, 0x1000,
+                static_cast<std::uint64_t>(Perm::ReadWrite) |
+                    (regmap::kModeRange << 2));
+    EXPECT_EQ(unit.authorize(7, 0x1800, 8, Perm::Read).status,
+              AuthStatus::Allow);
+    EXPECT_EQ(unit.authorize(7, 0x1800, 8, Perm::Write).status,
+              AuthStatus::Deny);
+}
+
+} // namespace
+} // namespace iopmp
+} // namespace siopmp

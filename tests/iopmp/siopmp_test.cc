@@ -153,6 +153,38 @@ TEST_F(SIopmpTest, ColdSidIsLastSid)
     EXPECT_EQ(unit.cam().numRows(), 63u); // rows 0..62 are hot
 }
 
+TEST(IopmpConfigValidate, RejectsDegenerateSizings)
+{
+    // Regression: num_sids == 1 used to construct a 0-row CAM and
+    // crash deep inside authorize(); now it's a clear config error.
+    EXPECT_NE((IopmpConfig{16, 1, 8}.validate()), nullptr);
+    EXPECT_NE((IopmpConfig{16, 0, 8}.validate()), nullptr);
+    EXPECT_NE((IopmpConfig{0, 16, 8}.validate()), nullptr);
+    EXPECT_NE((IopmpConfig{16, 16, 0}.validate()), nullptr);
+    EXPECT_NE((IopmpConfig{16, 16, 64}.validate()), nullptr);
+    EXPECT_EQ((IopmpConfig{16, 16, 8}.validate()), nullptr);
+}
+
+TEST(IopmpConfigValidateDeath, ConstructionFailsFastWithReason)
+{
+    EXPECT_DEATH(SIopmp(IopmpConfig{16, 1, 8}, CheckerKind::Linear, 1),
+                 "num_sids");
+}
+
+TEST(IopmpConfigValidate, MinimalTwoSidConfigWorks)
+{
+    // One hot SID + the reserved cold SID: smallest legal unit.
+    SIopmp tiny(IopmpConfig{4, 2, 1}, CheckerKind::Linear, 1);
+    EXPECT_EQ(tiny.coldSid(), 1u);
+    EXPECT_EQ(tiny.cam().numRows(), 1u);
+    tiny.cam().set(0, 9);
+    tiny.src2md().associate(0, 0);
+    tiny.mdcfg().setTop(0, 4);
+    tiny.entryTable().set(0, Entry::range(0x1000, 0x1000, Perm::Read));
+    EXPECT_EQ(tiny.authorize(9, 0x1800, 8, Perm::Read).status,
+              AuthStatus::Allow);
+}
+
 } // namespace
 } // namespace iopmp
 } // namespace siopmp

@@ -30,8 +30,13 @@ TEST(EntryTable, LockBlocksNonMachineMode)
     t.lock(0);
     EXPECT_FALSE(t.set(0, Entry::off(), /*machine_mode=*/false));
     EXPECT_TRUE(t.get(0).enabled());
-    // M-mode may still rewrite, and the lock stays sticky.
-    EXPECT_TRUE(t.set(0, Entry::range(0x0, 0x20, Perm::Write)));
+    // The unprivileged path is the default: an implicit set() must
+    // also bounce off the lock.
+    EXPECT_FALSE(t.set(0, Entry::off()));
+    EXPECT_TRUE(t.get(0).enabled());
+    // M-mode may still rewrite explicitly, and the lock stays sticky.
+    EXPECT_TRUE(t.set(0, Entry::range(0x0, 0x20, Perm::Write),
+                      /*machine_mode=*/true));
     EXPECT_TRUE(t.get(0).locked());
 }
 

@@ -4,18 +4,34 @@
 # cycle budget, validate the BENCH_sim_core.json schema, and validate
 # the Chrome trace-event schema of a traced dma_attack_demo run.
 #
-# Usage: tools/run_bench.sh [build-dir] [iters]
+# Usage: tools/run_bench.sh [build-dir] [iters] [mode]
+#
+# mode "fuzz" skips the benchmark/schema legs and instead runs the
+# differential-fuzz soak: the full siopmp_fuzz campaign (every checker
+# flavour, dense + wide configurations) under fixed seeds. Exits
+# nonzero on any DUT-vs-oracle divergence. The bounded version of the
+# same campaign already runs inside the tier-1 suite (test_check).
 
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-$REPO_ROOT/build}"
 ITERS="${2:-4}"
+MODE="${3:-bench}"
 OUT_JSON="$REPO_ROOT/BENCH_sim_core.json"
 
 echo "== configure + build =="
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
 cmake --build "$BUILD_DIR" -j
+
+if [ "$MODE" = "fuzz" ]; then
+    echo "== differential fuzz soak =="
+    # Two fixed seeds: deterministic in CI, still decorrelated runs.
+    "$BUILD_DIR/tools/siopmp_fuzz" --cases 10000 --seed 1
+    "$BUILD_DIR/tools/siopmp_fuzz" --cases 10000 --seed 20260806
+    echo "run_bench: fuzz soak clean"
+    exit 0
+fi
 
 echo "== tier-1 tests =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"

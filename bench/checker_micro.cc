@@ -4,9 +4,27 @@
  * checker logic itself (functional model speed, not simulated cycles).
  * Useful for keeping the simulator fast: the checker runs on every
  * simulated DMA beat, so its host cost bounds simulation throughput.
+ *
+ * Two modes:
+ *
+ *  - default: the classic google-benchmark BM_* suite over the
+ *    UNCACHED checker walks (directly-constructed checkers never get
+ *    the accelerator), guarding the baseline cost;
+ *  - `--json OUT [--checks N]`: emit BENCH_checker.json — a saturated
+ *    128-SID check stream replayed against every checker kind x entry
+ *    count x {cache off, cache on}, reporting ns/check, simulated
+ *    seconds per million cycles (one check per simulated beat cycle)
+ *    and the on/off speedup. Schema is validated by tools/run_bench.sh
+ *    and documented in docs/PERFORMANCE.md.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
 
 #include "iopmp/checker.hh"
 #include "iopmp/linear_checker.hh"
@@ -80,10 +98,175 @@ BM_MtChecker3Stage(benchmark::State &state)
     });
 }
 
+// ---- BENCH_checker.json mode --------------------------------------------
+
+/**
+ * Saturated check stream at paper scale: 128 SIDs, each with its own
+ * MD bitmap, issuing bursts over a bounded per-SID address pool (DMA
+ * streams revisit their buffers — that temporal locality is exactly
+ * what the verdict cache exploits; plan compilation alone carries the
+ * speedup when it is absent). The stream is a pure function of the
+ * seed, so the cache-off and cache-on runs replay identical requests.
+ */
+struct SidStream {
+    static constexpr unsigned kSids = 128;
+    static constexpr unsigned kAddrsPerSid = 16;
+
+    explicit SidStream(std::uint64_t seed)
+    {
+        Rng rng(seed);
+        bitmaps.reserve(kSids);
+        addrs.reserve(kSids * kAddrsPerSid);
+        for (unsigned s = 0; s < kSids; ++s) {
+            // Dense-ish domains: roughly half of the 63 MDs each.
+            bitmaps.push_back(rng.next() & (~std::uint64_t{0} >> 1));
+            for (unsigned a = 0; a < kAddrsPerSid; ++a)
+                addrs.push_back(rng.below(1 << 23) & ~Addr{7});
+        }
+    }
+
+    CheckRequest
+    request(std::uint64_t i) const
+    {
+        const unsigned sid = static_cast<unsigned>(i % kSids);
+        CheckRequest req;
+        req.addr = addrs[sid * kAddrsPerSid +
+                         static_cast<unsigned>((i / kSids) % kAddrsPerSid)];
+        req.len = 64;
+        req.perm = Perm::Read;
+        req.md_bitmap = bitmaps[sid];
+        return req;
+    }
+
+    std::vector<std::uint64_t> bitmaps;
+    std::vector<Addr> addrs;
+};
+
+/** Measured cost of one configuration leg. */
+struct LegResult {
+    double ns_per_check = 0.0;
+};
+
+LegResult
+runLeg(CheckerKind kind, unsigned stages, unsigned num_entries,
+       bool cache_on, std::uint64_t checks)
+{
+    Fixture fixture(num_entries);
+    auto checker = makeChecker(kind, stages, fixture.entries,
+                               fixture.mdcfg);
+    checker->setAccelEnabled(cache_on);
+    const SidStream stream(3);
+
+    // Warm-up: page in the tables, compile the plans, fill the cache.
+    const std::uint64_t warmup = checks / 8 + 1;
+    for (std::uint64_t i = 0; i < warmup; ++i)
+        benchmark::DoNotOptimize(checker->check(stream.request(i)));
+
+    const auto start = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < checks; ++i)
+        benchmark::DoNotOptimize(checker->check(stream.request(i)));
+    const auto stop = std::chrono::steady_clock::now();
+
+    LegResult result;
+    result.ns_per_check =
+        std::chrono::duration<double, std::nano>(stop - start).count() /
+        static_cast<double>(checks);
+    return result;
+}
+
+int
+jsonMain(const char *path, std::uint64_t checks)
+{
+    struct KindSpec {
+        const char *name;
+        CheckerKind kind;
+        unsigned stages;
+    };
+    static constexpr KindSpec kKinds[] = {
+        {"linear", CheckerKind::Linear, 1},
+        {"tree", CheckerKind::Tree, 1},
+        {"mt3", CheckerKind::PipelineTree, 3},
+    };
+    static constexpr unsigned kEntryCounts[] = {64, 256, 1024};
+
+    std::FILE *out = std::fopen(path, "w");
+    if (out == nullptr) {
+        std::fprintf(stderr, "cannot open %s\n", path);
+        return 2;
+    }
+
+    // One simulated DMA beat per simulated cycle at saturation, so
+    // seconds-per-million-simulated-cycles == ns_per_check / 1000.
+    std::fprintf(out,
+                 "{\n"
+                 "  \"benchmark\": \"checker_micro\",\n"
+                 "  \"num_sids\": %u,\n"
+                 "  \"num_mds\": 63,\n"
+                 "  \"checks_per_config\": %llu,\n"
+                 "  \"configs\": [\n",
+                 SidStream::kSids,
+                 static_cast<unsigned long long>(checks));
+
+    bool first = true;
+    for (const KindSpec &spec : kKinds) {
+        for (unsigned n : kEntryCounts) {
+            const LegResult off =
+                runLeg(spec.kind, spec.stages, n, false, checks);
+            const LegResult on =
+                runLeg(spec.kind, spec.stages, n, true, checks);
+            const double speedup =
+                on.ns_per_check > 0.0
+                    ? off.ns_per_check / on.ns_per_check
+                    : 0.0;
+            for (int cached = 0; cached < 2; ++cached) {
+                const LegResult &leg = cached ? on : off;
+                std::fprintf(
+                    out,
+                    "%s    {\"kind\": \"%s\", \"entries\": %u, "
+                    "\"cache\": \"%s\", \"ns_per_check\": %.3f, "
+                    "\"s_per_mcycle\": %.6f, \"speedup\": %.3f}",
+                    first ? "" : ",\n", spec.name, n,
+                    cached ? "on" : "off", leg.ns_per_check,
+                    leg.ns_per_check / 1000.0 * 1e-3,
+                    cached ? speedup : 1.0);
+                first = false;
+            }
+            std::fprintf(stderr,
+                         "checker_micro: %s entries=%u off=%.1fns "
+                         "on=%.1fns speedup=%.2fx\n",
+                         spec.name, n, off.ns_per_check,
+                         on.ns_per_check, speedup);
+        }
+    }
+    std::fprintf(out, "\n  ]\n}\n");
+    std::fclose(out);
+    return 0;
+}
+
 } // namespace
 
 BENCHMARK(BM_LinearChecker)->Arg(64)->Arg(256)->Arg(1024);
 BENCHMARK(BM_TreeChecker)->Arg(64)->Arg(256)->Arg(1024);
 BENCHMARK(BM_MtChecker3Stage)->Arg(64)->Arg(256)->Arg(1024);
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    const char *json_out = nullptr;
+    std::uint64_t checks = 400000;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            json_out = argv[++i];
+        else if (std::strcmp(argv[i], "--checks") == 0 && i + 1 < argc)
+            checks = std::strtoull(argv[++i], nullptr, 10);
+    }
+    if (json_out != nullptr)
+        return jsonMain(json_out, checks);
+
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -402,6 +402,8 @@ DifferentialFuzzer::replay(const std::vector<FuzzOp> &ops, bool emit_trace)
     icfg.num_sids = cfg_.num_sids;
     icfg.num_mds = cfg_.num_mds;
     iopmp::SIopmp dut(icfg, cfg_.kind, cfg_.stages);
+    if (cfg_.accel != AccelMode::Default)
+        dut.setCheckCache(cfg_.accel == AccelMode::On);
     ReferenceOracle oracle(cfg_.num_entries, cfg_.num_sids, cfg_.num_mds);
 
     std::optional<Divergence> divergence;

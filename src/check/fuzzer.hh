@@ -57,6 +57,13 @@ struct FuzzOp {
     std::string toString() const;
 };
 
+/** Check-path accelerator policy for the DUT under fuzz. */
+enum class AccelMode {
+    Default, //!< whatever SIOPMP_NO_CHECK_CACHE says (usually on)
+    On,      //!< force the verdict cache + match plans on
+    Off,     //!< force the pure microarchitectural walk
+};
+
 /** Per-case shape: architecture sizing + checker flavour + op count. */
 struct FuzzCaseConfig {
     unsigned num_entries = 24;
@@ -65,6 +72,7 @@ struct FuzzCaseConfig {
     iopmp::CheckerKind kind = iopmp::CheckerKind::Linear;
     unsigned stages = 1;
     unsigned ops_per_case = 96;
+    AccelMode accel = AccelMode::Default;
 };
 
 /** First point where DUT and oracle disagreed. */

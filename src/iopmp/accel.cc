@@ -1,0 +1,326 @@
+/**
+ * @file
+ * CheckAccel implementation: plan compilation (boundary flattening +
+ * sparse-table RMQ), the accelerated check path and the epoch logic.
+ */
+
+#include "iopmp/accel.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+
+#include "iopmp/checker.hh"
+#include "sim/logging.hh"
+#include "sim/trace.hh"
+
+namespace siopmp {
+namespace iopmp {
+
+namespace {
+
+/** 2^64 as an end coordinate: entry and request intervals are clamped
+ * to the addressable space before flattening. Clamping preserves the
+ * overlap relation exactly — both interval ends are >= every address
+ * that exists — while the final containment/permission adjudication
+ * reuses Entry::matches, which implements the unclamped semantics. */
+using End = unsigned __int128;
+
+inline constexpr End kTop = End{1} << 64;
+
+/** splitmix-style finalizer for the cache index hash. */
+inline std::uint64_t
+mix(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+}
+
+} // namespace
+
+bool
+CheckAccel::defaultEnabled()
+{
+    const char *env = std::getenv("SIOPMP_NO_CHECK_CACHE");
+    return env == nullptr || env[0] == '\0' || env[0] == '0';
+}
+
+CheckAccel::CheckAccel(const EntryTable &entries, const MdCfgTable &mdcfg)
+    : entries_(entries),
+      mdcfg_(mdcfg),
+      lines_(kCacheLines),
+      stats_("check_accel")
+{
+    // The counters sit on the per-check hot path: resolve the name ->
+    // Scalar map lookups once here instead of per event.
+    hits_ = &stats_.scalar("check_cache_hits");
+    misses_ = &stats_.scalar("check_cache_misses");
+    flushes_ = &stats_.scalar("check_cache_flushes");
+    compiles_ = &stats_.scalar("plan_compiles");
+    invalidations_ = &stats_.scalar("plan_invalidations");
+    seen_entry_gen_ = entries_.generation();
+    seen_md_gen_ = mdcfg_.generation();
+}
+
+void
+CheckAccel::observeEpoch(Cycle now)
+{
+    const std::uint64_t egen = entries_.generation();
+    const std::uint64_t mgen = mdcfg_.generation();
+    if (egen == seen_entry_gen_ && mgen == seen_md_gen_)
+        return;
+    seen_entry_gen_ = egen;
+    seen_md_gen_ = mgen;
+    ++salt_; // every cache line dies at once, O(1)
+    ++*flushes_;
+    if (trace::on()) {
+        trace::Event event;
+        event.when = now;
+        event.phase = trace::Phase::Instant;
+        event.track = "check_accel";
+        event.category = "checker";
+        event.name = "cache_flush";
+        event.arg0 = egen;
+        event.arg1 = mgen;
+        trace::emit(event);
+    }
+}
+
+CheckResult
+CheckAccel::check(const CheckRequest &req)
+{
+    observeEpoch(req.now);
+
+    // A zero-length burst never matches nor overlaps any entry
+    // (Entry::matches/overlaps both reject len == 0), so the reference
+    // walk falls through to the default deny with no deciding entry.
+    if (req.len == 0)
+        return {};
+
+    const std::size_t way =
+        mix(req.addr * 0x9e3779b97f4a7c15ULL ^ req.md_bitmap ^
+            (req.len << 2) ^ static_cast<std::uint64_t>(req.perm)) &
+        (kCacheLines - 1);
+    Line &line = lines_[way];
+    if (line.salt == salt_ && line.md_bitmap == req.md_bitmap &&
+        line.addr == req.addr && line.len == req.len &&
+        line.perm == req.perm) {
+        ++*hits_;
+        CheckResult result;
+        result.entry = line.entry;
+        result.allowed = line.allowed;
+        result.partial = line.partial;
+        return result;
+    }
+    ++*misses_;
+
+    const CheckResult result =
+        planCheck(planFor(req.md_bitmap, req.now), req);
+
+    line.salt = salt_;
+    line.md_bitmap = req.md_bitmap;
+    line.addr = req.addr;
+    line.len = req.len;
+    line.perm = req.perm;
+    line.entry = result.entry;
+    line.allowed = result.allowed;
+    line.partial = result.partial;
+    return result;
+}
+
+CheckAccel::Plan &
+CheckAccel::planFor(std::uint64_t md_bitmap, Cycle now)
+{
+    Plan *plan = last_plan_;
+    if (plan == nullptr || plan->md_bitmap != md_bitmap) {
+        plan = &plans_[md_bitmap];
+        // unordered_map never moves values on rehash, so the MRU
+        // pointer stays valid while new bitmaps are inserted.
+        last_plan_ = plan;
+    }
+    if (plan->entry_gen != seen_entry_gen_ ||
+        plan->md_gen != seen_md_gen_) {
+        if (plan->entry_gen != 0)
+            ++*invalidations_; // existing plan went stale
+        compile(*plan, md_bitmap);
+        ++*compiles_;
+        if (trace::on()) {
+            trace::Event event;
+            event.when = now;
+            event.phase = trace::Phase::Instant;
+            event.track = "check_accel";
+            event.category = "checker";
+            event.name = "plan_compile";
+            event.id = md_bitmap;
+            event.arg0 = seen_entry_gen_;
+            event.arg1 = seen_md_gen_;
+            trace::emit(event);
+        }
+    }
+    return *plan;
+}
+
+void
+CheckAccel::compile(Plan &plan, std::uint64_t md_bitmap) const
+{
+    plan.md_bitmap = md_bitmap;
+    plan.entry_gen = seen_entry_gen_;
+    plan.md_gen = seen_md_gen_;
+    plan.starts.clear();
+    plan.min_entry.clear();
+    plan.rmq.clear();
+
+    const unsigned num_entries = entries_.size();
+
+    // Reproduce MdCfgTable::mdOfEntry for the whole table in
+    // O(entries + mds): walking MDs in priority order, MD m owns
+    // [covered, T_m) where covered is the highest top seen so far —
+    // exactly the "first MD whose T exceeds the index" rule.
+    std::vector<int> md_of(num_entries, -1);
+    unsigned covered = 0;
+    for (MdIndex md = 0; md < mdcfg_.numMds(); ++md) {
+        const unsigned top = mdcfg_.top(md);
+        for (unsigned j = covered; j < top && j < num_entries; ++j)
+            md_of[j] = static_cast<int>(md);
+        if (top > covered)
+            covered = top;
+    }
+
+    // Enabled entries for this bitmap, as clamped [base, end) spans.
+    struct Span {
+        Addr base;
+        End end;
+        std::int32_t idx;
+    };
+    std::vector<Span> spans;
+    spans.reserve(num_entries);
+    for (unsigned j = 0; j < num_entries; ++j) {
+        if (md_of[j] < 0 || !((md_bitmap >> md_of[j]) & 1))
+            continue;
+        const Entry &entry = entries_.get(j);
+        if (!entry.enabled() || entry.size() == 0)
+            continue;
+        End end = End{entry.base()} + entry.size();
+        if (end > kTop)
+            end = kTop;
+        spans.push_back({entry.base(), end, static_cast<std::int32_t>(j)});
+    }
+
+    // Boundary set: 0, every span base, every span end below 2^64.
+    std::vector<Addr> &starts = plan.starts;
+    starts.push_back(0);
+    for (const Span &span : spans) {
+        starts.push_back(span.base);
+        if (span.end < kTop)
+            starts.push_back(static_cast<Addr>(span.end));
+    }
+    std::sort(starts.begin(), starts.end());
+    starts.erase(std::unique(starts.begin(), starts.end()), starts.end());
+
+    // Sweep: entries become active at their base boundary and inactive
+    // at their end boundary; each segment records the minimum active
+    // index. Entry bases/ends are always boundaries, so an entry
+    // active anywhere in a segment covers all of it.
+    std::vector<std::pair<Addr, std::int32_t>> adds, removes;
+    adds.reserve(spans.size());
+    removes.reserve(spans.size());
+    for (const Span &span : spans) {
+        adds.emplace_back(span.base, span.idx);
+        if (span.end < kTop)
+            removes.emplace_back(static_cast<Addr>(span.end), span.idx);
+    }
+    std::sort(adds.begin(), adds.end());
+    std::sort(removes.begin(), removes.end());
+
+    const std::size_t num_segments = starts.size();
+    plan.min_entry.reserve(num_segments);
+    std::multiset<std::int32_t> active;
+    std::size_t ai = 0, ri = 0;
+    for (std::size_t s = 0; s < num_segments; ++s) {
+        const Addr boundary = starts[s];
+        while (ri < removes.size() && removes[ri].first == boundary)
+            active.erase(active.find(removes[ri++].second));
+        while (ai < adds.size() && adds[ai].first == boundary)
+            active.insert(adds[ai++].second);
+        plan.min_entry.push_back(active.empty() ? kNoEntry
+                                                : *active.begin());
+    }
+
+    // Sparse table for O(1) range-minimum over segments. Level l
+    // holds minima of windows of 2^l segments; level 0 aliases
+    // min_entry itself.
+    unsigned levels = 1;
+    while ((std::size_t{1} << levels) <= num_segments)
+        ++levels;
+    plan.levels = levels;
+    plan.rmq.assign(static_cast<std::size_t>(levels) * num_segments,
+                    kNoEntry);
+    std::copy(plan.min_entry.begin(), plan.min_entry.end(),
+              plan.rmq.begin());
+    for (unsigned l = 1; l < levels; ++l) {
+        const std::size_t half = std::size_t{1} << (l - 1);
+        const std::int32_t *prev = &plan.rmq[(l - 1) * num_segments];
+        std::int32_t *cur = &plan.rmq[l * num_segments];
+        for (std::size_t i = 0; i + (half << 1) <= num_segments; ++i)
+            cur[i] = std::min(prev[i], prev[i + half]);
+    }
+}
+
+std::int32_t
+CheckAccel::lowestOverlap(const Plan &plan, Addr addr, Addr last) const
+{
+    // Segment of an address: the last boundary at or below it.
+    // starts[0] == 0, so the search never underflows.
+    const auto begin = plan.starts.begin(), end = plan.starts.end();
+    const std::size_t s0 =
+        static_cast<std::size_t>(std::upper_bound(begin, end, addr) -
+                                 begin) -
+        1;
+    const std::size_t s1 =
+        static_cast<std::size_t>(std::upper_bound(begin, end, last) -
+                                 begin) -
+        1;
+    if (s0 == s1)
+        return plan.min_entry[s0];
+    const std::size_t num_segments = plan.starts.size();
+    const std::size_t span = s1 - s0 + 1;
+    const unsigned level = 63 - __builtin_clzll(span);
+    const std::int32_t *row = &plan.rmq[level * num_segments];
+    return std::min(row[s0], row[s1 + 1 - (std::size_t{1} << level)]);
+}
+
+CheckResult
+CheckAccel::planCheck(const Plan &plan, const CheckRequest &req) const
+{
+    // Inclusive last byte of the burst, clamped to the top of the
+    // address space (a burst may mathematically extend past 2^64; no
+    // address beyond 2^64 - 1 exists, and the clamp preserves the
+    // overlap relation).
+    Addr last = req.addr + (req.len - 1);
+    if (last < req.addr)
+        last = ~Addr{0};
+
+    const std::int32_t idx = lowestOverlap(plan, req.addr, last);
+    if (idx == kNoEntry)
+        return {}; // no overlap anywhere: default deny, entry == -1
+
+    // Adjudicate with the entry's own (unclamped, overflow-safe)
+    // containment test so the verdict is bit-identical to firstMatch.
+    const Entry &entry = entries_.get(static_cast<unsigned>(idx));
+    CheckResult result;
+    result.entry = idx;
+    if (entry.matches(req.addr, req.len)) {
+        result.allowed = permits(entry.perm(), req.perm);
+    } else {
+        result.allowed = false;
+        result.partial = true;
+    }
+    return result;
+}
+
+} // namespace iopmp
+} // namespace siopmp

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Check-path acceleration layer: compiled per-bitmap match plans plus
+ * a direct-mapped verdict cache in front of them.
+ *
+ * The functional authorization semantics (checker.hh) boil down to one
+ * question per request: *what is the lowest-index enabled entry whose
+ * region overlaps [addr, addr+len)?* That entry decides — full
+ * containment checks the permission bits, partial overlap denies, no
+ * such entry denies by default. Every checker microarchitecture
+ * (linear, tree, pipelined) computes exactly this, so one functional
+ * accelerator serves all of them without changing any verdict.
+ *
+ * Level 1 — compiled match plan. On the first check against a given
+ * MD bitmap after a configuration change, the live entry table is
+ * lowered into a flat interval index: the enabled entries' boundary
+ * addresses split the address space into segments, each segment knows
+ * the minimum entry index covering it, and a sparse table provides
+ * O(1) range-minimum over segments. A check is then two binary
+ * searches plus one range-min — branch-light O(log entries) instead of
+ * the O(entries x mds) linear scan with per-entry mode decoding.
+ *
+ * Level 2 — verdict cache. A small direct-mapped cache keyed by the
+ * full request tuple (md_bitmap, addr, len, perm) sits in front of the
+ * plan, mirroring the TLB-style lookup structure the paper's pipelined
+ * checker implies (§4.1). The tag is the exact tuple — never a
+ * superset — so a hit returns a verdict that is bit-identical to
+ * recomputation by construction.
+ *
+ * Epoch-based invalidation. The pure check function depends on the
+ * request plus exactly two tables: EntryTable and MdCfgTable. Both
+ * carry generation counters bumped on every successful mutation
+ * (through the MMIO window or direct calls). Every CheckAccel::check
+ * compares the current generations against the last-seen pair; any
+ * change lazily flushes the verdict cache (salt bump, O(1)) and marks
+ * every compiled plan stale. SRC2MD changes need no invalidation: the
+ * MD bitmap is part of the request and therefore of every cache key
+ * and plan key. CAM / eSID / block-bitmap state acts before the
+ * checker (SID resolution and §4.1 blocking) and never reaches this
+ * layer. The §4.1 blocking-window atomicity argument is untouched:
+ * authorize() consults the block bit before the accelerated check,
+ * and any entry/MDCFG write inside the window bumps a generation.
+ *
+ * Escape hatch: SIOPMP_NO_CHECK_CACHE=1 disables the layer process-
+ * wide (mirrors SIOPMP_NO_FAST_FORWARD); SIopmp::setCheckCache and
+ * CheckerLogic::setAccelEnabled override per instance.
+ */
+
+#ifndef IOPMP_ACCEL_HH
+#define IOPMP_ACCEL_HH
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "iopmp/tables.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace siopmp {
+namespace iopmp {
+
+struct CheckRequest;
+struct CheckResult;
+
+class CheckAccel
+{
+  public:
+    CheckAccel(const EntryTable &entries, const MdCfgTable &mdcfg);
+
+    /**
+     * Authorize one access. Bit-identical to the reference
+     * first-match semantics (CheckerLogic::firstMatch over the whole
+     * table): same deciding entry index, same allowed/partial flags.
+     */
+    CheckResult check(const CheckRequest &req);
+
+    /** Process-wide default (false iff SIOPMP_NO_CHECK_CACHE is set
+     * to a non-empty value other than "0"). Re-read on every call so
+     * tests can toggle the environment. */
+    static bool defaultEnabled();
+
+    // ---- observability ---------------------------------------------------
+
+    std::uint64_t cacheHits() const { return hits_->value(); }
+    std::uint64_t cacheMisses() const { return misses_->value(); }
+    std::uint64_t cacheFlushes() const { return flushes_->value(); }
+    std::uint64_t planCompiles() const { return compiles_->value(); }
+    std::uint64_t planInvalidations() const
+    {
+        return invalidations_->value();
+    }
+
+    stats::Group &statsGroup() { return stats_; }
+
+    /** Number of verdict-cache lines (power of two). */
+    static constexpr std::size_t kCacheLines = 4096;
+
+  private:
+    //! Sentinel "no entry overlaps this segment".
+    static constexpr std::int32_t kNoEntry =
+        std::numeric_limits<std::int32_t>::max();
+
+    /**
+     * Compiled interval index for one MD bitmap. Segment i spans
+     * [starts[i], starts[i+1]) (the last segment extends to 2^64);
+     * min_entry[i] is the lowest enabled entry index covering any part
+     * of segment i, or kNoEntry. rmq is a level-major sparse table
+     * over min_entry for O(1) range minimum.
+     */
+    struct Plan {
+        std::uint64_t md_bitmap = 0;
+        std::uint64_t entry_gen = 0; //!< generations the plan was
+        std::uint64_t md_gen = 0;    //!< compiled against
+        std::vector<Addr> starts;
+        std::vector<std::int32_t> min_entry;
+        std::vector<std::int32_t> rmq; //!< levels * num_segments
+        unsigned levels = 0;
+    };
+
+    /** One direct-mapped verdict-cache line. Valid iff salt matches
+     * the cache's current salt (bumped wholesale on flush). */
+    struct Line {
+        std::uint64_t salt = 0;
+        std::uint64_t md_bitmap = 0;
+        Addr addr = 0;
+        Addr len = 0;
+        Perm perm = Perm::None;
+        std::int32_t entry = -1;
+        bool allowed = false;
+        bool partial = false;
+    };
+
+    /** Observe table generations; flush lazily on any change. @p now
+     * timestamps the trace instant (0 outside cycle context). */
+    void observeEpoch(Cycle now);
+
+    Plan &planFor(std::uint64_t md_bitmap, Cycle now);
+    void compile(Plan &plan, std::uint64_t md_bitmap) const;
+
+    /** Lowest overlapping enabled entry for [addr, last] (inclusive
+     * last byte), or kNoEntry. */
+    std::int32_t lowestOverlap(const Plan &plan, Addr addr,
+                               Addr last) const;
+
+    CheckResult planCheck(const Plan &plan, const CheckRequest &req) const;
+
+    const EntryTable &entries_;
+    const MdCfgTable &mdcfg_;
+
+    std::uint64_t seen_entry_gen_ = 0;
+    std::uint64_t seen_md_gen_ = 0;
+
+    std::unordered_map<std::uint64_t, Plan> plans_;
+    Plan *last_plan_ = nullptr; //!< one-entry MRU over plans_
+
+    std::vector<Line> lines_;
+    std::uint64_t salt_ = 1;
+
+    stats::Group stats_;
+    stats::Scalar *hits_;
+    stats::Scalar *misses_;
+    stats::Scalar *flushes_;
+    stats::Scalar *compiles_;
+    stats::Scalar *invalidations_;
+};
+
+} // namespace iopmp
+} // namespace siopmp
+
+#endif // IOPMP_ACCEL_HH

@@ -15,6 +15,7 @@
 #include <memory>
 #include <string>
 
+#include "iopmp/accel.hh"
 #include "iopmp/tables.hh"
 #include "sim/types.hh"
 
@@ -27,6 +28,10 @@ struct CheckRequest {
     Addr len = 0;
     Perm perm = Perm::Read;
     std::uint64_t md_bitmap = 0; //!< memory domains of the requesting SID
+    //! Current cycle, used only to timestamp accelerator trace events
+    //! (the verdict is independent of it). 0 when the caller has no
+    //! cycle context (unit tests, fuzzing).
+    Cycle now = 0;
 };
 
 /** Outcome of a permission check. */
@@ -67,8 +72,44 @@ class CheckerLogic
     CheckerLogic(const CheckerLogic &) = delete;
     CheckerLogic &operator=(const CheckerLogic &) = delete;
 
-    /** Authorize one access. Pure function of tables + request. */
-    virtual CheckResult check(const CheckRequest &req) const = 0;
+    /**
+     * Authorize one access. Pure function of tables + request. With
+     * the acceleration layer enabled the verdict comes from the
+     * compiled match plan / verdict cache (bit-identical by
+     * construction); otherwise from this checker's own
+     * microarchitectural model.
+     */
+    CheckResult
+    check(const CheckRequest &req) const
+    {
+        if (accel_)
+            return accel_->check(req);
+        return checkUncached(req);
+    }
+
+    /** The microarchitectural model's own walk (always available;
+     * the differential tests compare it against the accelerator). */
+    virtual CheckResult checkUncached(const CheckRequest &req) const = 0;
+
+    /**
+     * Enable/disable the shared check-path accelerator for this
+     * checker instance. Disabled by default for directly-constructed
+     * checkers (unit tests exercise the real reduction logic); SIopmp
+     * turns it on centrally unless SIOPMP_NO_CHECK_CACHE is set.
+     */
+    void
+    setAccelEnabled(bool on)
+    {
+        if (on && !accel_)
+            accel_ = std::make_unique<CheckAccel>(entries_, mdcfg_);
+        else if (!on)
+            accel_.reset();
+    }
+
+    bool accelEnabled() const { return accel_ != nullptr; }
+
+    /** The live accelerator, or nullptr when disabled (stats/tests). */
+    CheckAccel *accel() const { return accel_.get(); }
 
     /** Pipeline stages; 1 means fully combinational (no extra cycles). */
     virtual unsigned stages() const = 0;
@@ -103,6 +144,12 @@ class CheckerLogic
 
     const EntryTable &entries_;
     const MdCfgTable &mdcfg_;
+
+    //! Optional acceleration layer (plans + verdict cache). Mutable
+    //! for the same reason as TreeChecker's scratch buffers: check()
+    //! is logically const but the cache state evolves. Not
+    //! thread-safe across concurrent checks of one instance.
+    mutable std::unique_ptr<CheckAccel> accel_;
 };
 
 /** Factory covering every evaluated configuration. */

@@ -5,6 +5,7 @@
 
 #include "iopmp/siopmp.hh"
 
+#include "iopmp/accel.hh"
 #include "sim/logging.hh"
 
 namespace siopmp {
@@ -37,12 +38,24 @@ SIopmp::SIopmp(IopmpConfig cfg, CheckerKind kind, unsigned stages)
       checker_(makeChecker(kind, stages, entries_, mdcfg_)),
       stats_("siopmp")
 {
+    // Accelerate the check path unless SIOPMP_NO_CHECK_CACHE vetoes
+    // it. Directly-constructed checkers (unit tests) stay uncached so
+    // they exercise the real reduction logic.
+    checker_->setAccelEnabled(CheckAccel::defaultEnabled());
 }
 
 void
 SIopmp::setChecker(CheckerKind kind, unsigned stages)
 {
+    const bool accel = checker_->accelEnabled();
     checker_ = makeChecker(kind, stages, entries_, mdcfg_);
+    checker_->setAccelEnabled(accel);
+}
+
+void
+SIopmp::setCheckCache(bool on)
+{
+    checker_->setAccelEnabled(on);
 }
 
 std::optional<Sid>
@@ -102,6 +115,7 @@ SIopmp::authorize(DeviceId device, Addr addr, Addr len, Perm perm,
     req.len = len;
     req.perm = perm;
     req.md_bitmap = src2md_.bitmap(sid);
+    req.now = now;
     const CheckResult result = checker_->check(req);
 
     if (result.allowed) {
@@ -197,6 +211,7 @@ SIopmp::mmioWrite(Addr offset, std::uint64_t value)
             // a rejected write must not freeze state it never set.
             if (lock)
                 src2md_.lock(sid);
+            bumpEpoch();
         } else {
             rejectWrite(offset);
         }
@@ -204,7 +219,9 @@ SIopmp::mmioWrite(Addr offset, std::uint64_t value)
     }
     if (offset >= kMdCfgBase && offset < kMdCfgBase + cfg_.num_mds * 8) {
         const MdIndex md = static_cast<MdIndex>((offset - kMdCfgBase) / 8);
-        if (!mdcfg_.setTop(md, static_cast<unsigned>(value)))
+        if (mdcfg_.setTop(md, static_cast<unsigned>(value)))
+            bumpEpoch();
+        else
             rejectWrite(offset);
         return;
     }
@@ -212,6 +229,7 @@ SIopmp::mmioWrite(Addr offset, std::uint64_t value)
         offset < kBlockBitmap + blocks_.numWords() * 8) {
         blocks_.setWord(static_cast<unsigned>((offset - kBlockBitmap) / 8),
                         value);
+        bumpEpoch();
         return;
     }
     if (offset == kWriteRejects) {
@@ -223,6 +241,7 @@ SIopmp::mmioWrite(Addr offset, std::uint64_t value)
             esid_ = value & ~(std::uint64_t{1} << 63);
         else
             esid_.reset();
+        bumpEpoch();
         return;
     }
     if (offset == kErrInfo) {
@@ -236,6 +255,7 @@ SIopmp::mmioWrite(Addr offset, std::uint64_t value)
             cam_.set(sid, value & ~(std::uint64_t{1} << 63));
         else
             cam_.invalidateSid(sid);
+        bumpEpoch();
         return;
     }
     if (offset >= kEntryBase &&
@@ -289,6 +309,7 @@ SIopmp::mmioWrite(Addr offset, std::uint64_t value)
             if (entries_.set(idx, entry, /*machine_mode=*/false)) {
                 if (lock)
                     entries_.lock(idx);
+                bumpEpoch();
             } else {
                 rejectWrite(offset);
             }

@@ -123,11 +123,35 @@ class SIopmp : public mem::MmioDevice
     std::optional<DeviceId> mountedCold() const { return esid_; }
 
     /** Load the eSID register (performed by the monitor on mount). */
-    void setMountedCold(std::optional<DeviceId> device) { esid_ = device; }
+    void
+    setMountedCold(std::optional<DeviceId> device)
+    {
+        esid_ = device;
+        bumpEpoch();
+    }
 
     /** Swap the checker configuration (between experiments). */
     void setChecker(CheckerKind kind, unsigned stages);
     const CheckerLogic &checker() const { return *checker_; }
+
+    /**
+     * Force the check-path accelerator (compiled match plans + verdict
+     * cache) on or off for this instance, overriding the
+     * SIOPMP_NO_CHECK_CACHE default. Survives setChecker().
+     */
+    void setCheckCache(bool on);
+    bool checkCacheEnabled() const { return checker_->accelEnabled(); }
+
+    /**
+     * Monotone configuration epoch: bumped by every MMIO path that can
+     * change an authorization outcome (entry commit, SRC2MD, MDCFG,
+     * CAM remap, block-bitmap word, eSID register) and by cold-device
+     * mount/unmount. Used for trace attribution of cache flushes; the
+     * accelerator's own staleness detection reads the finer-grained
+     * EntryTable/MdCfgTable generations directly, which also cover
+     * direct (non-MMIO) table mutations.
+     */
+    std::uint64_t configEpoch() const { return config_epoch_; }
 
     /** Latched violation record, if an unread one exists. */
     std::optional<ViolationRecord> violationRecord() const;
@@ -157,6 +181,9 @@ class SIopmp : public mem::MmioDevice
     /** Note one rejected MMIO config write at @p offset. */
     void rejectWrite(Addr offset);
 
+    /** Advance the configuration epoch after a mutating config path. */
+    void bumpEpoch() { ++config_epoch_; }
+
     IopmpConfig cfg_;
     EntryTable entries_;
     Src2MdTable src2md_;
@@ -169,6 +196,7 @@ class SIopmp : public mem::MmioDevice
     IrqHandler irq_;
     stats::Group stats_;
     std::uint64_t write_rejects_ = 0;
+    std::uint64_t config_epoch_ = 0;
 
     // MMIO staging for entry writes (base/size latched, cfg commits).
     struct EntryStage {

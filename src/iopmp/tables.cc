@@ -45,6 +45,7 @@ EntryTable::set(unsigned idx, const Entry &entry, bool machine_mode)
     if (was_locked)
         entries_[idx].lock();
     ++writes_;
+    ++generation_;
     return true;
 }
 
@@ -59,6 +60,7 @@ EntryTable::lock(unsigned idx)
 {
     SIOPMP_ASSERT(idx < entries_.size(), "entry index out of range");
     entries_[idx].lock();
+    ++generation_;
 }
 
 void
@@ -67,6 +69,7 @@ EntryTable::resetAll()
     for (auto &entry : entries_)
         entry = Entry::off();
     writes_ = 0;
+    ++generation_;
 }
 
 Src2MdTable::Src2MdTable(unsigned num_sids, unsigned num_mds)
@@ -167,6 +170,7 @@ MdCfgTable::setTop(MdIndex md, unsigned top)
             return false;
     }
     tops_[md] = top;
+    ++generation_;
     return true;
 }
 
@@ -199,6 +203,7 @@ MdCfgTable::resetAll()
 {
     for (auto &top : tops_)
         top = 0;
+    ++generation_;
 }
 
 } // namespace iopmp

@@ -54,6 +54,15 @@ class EntryTable
     const Entry &get(unsigned idx) const;
 
     /**
+     * Configuration generation: bumped on every successful mutation
+     * (set/clear/lock/resetAll), including direct calls that bypass
+     * the MMIO window. Consumers holding derived structures (compiled
+     * match plans, verdict caches) compare generations to detect that
+     * their view of the table is stale.
+     */
+    std::uint64_t generation() const { return generation_; }
+
+    /**
      * Write entry @p idx. Fails (returns false) if the existing entry
      * is locked and @p machine_mode is false. The default is the
      * unprivileged path: callers acting as the machine-mode monitor
@@ -77,6 +86,7 @@ class EntryTable
   private:
     std::vector<Entry> entries_;
     std::uint64_t writes_ = 0;
+    std::uint64_t generation_ = 1;
 };
 
 /**
@@ -145,11 +155,16 @@ class MdCfgTable
     /** Memory domain owning entry @p idx, or -1 if unassigned. */
     int mdOfEntry(unsigned idx) const;
 
+    /** Generation counter bumped on every accepted mutation (see
+     * EntryTable::generation). */
+    std::uint64_t generation() const { return generation_; }
+
     void resetAll();
 
   private:
     std::vector<unsigned> tops_;
     unsigned num_entries_;
+    std::uint64_t generation_ = 1;
 };
 
 } // namespace iopmp

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cctype>
 #include <cstdlib>
 
@@ -15,7 +16,9 @@ namespace siopmp {
 namespace {
 
 std::array<bool, static_cast<unsigned>(TraceFlag::NumFlags)> trace_flags{};
-bool quiet_mode = false;
+//! Atomic: replay workers (siopmp_fuzz --jobs) save/restore quiet
+//! state concurrently; a torn read here would be UB for no benefit.
+std::atomic<bool> quiet_mode{false};
 
 const char *const flag_names[] = {
     "bus", "iopmp", "iommu", "device", "monitor", "workload",
@@ -74,13 +77,13 @@ Logger::enabled(TraceFlag flag)
 void
 Logger::setQuiet(bool quiet)
 {
-    quiet_mode = quiet;
+    quiet_mode.store(quiet, std::memory_order_relaxed);
 }
 
 bool
 Logger::quiet()
 {
-    return quiet_mode;
+    return quiet_mode.load(std::memory_order_relaxed);
 }
 
 void

@@ -233,12 +233,14 @@ Registry::global()
 void
 Registry::add(Group *group)
 {
+    std::lock_guard<std::mutex> guard(mutex_);
     live_.push_back(group);
 }
 
 void
 Registry::remove(Group *group)
 {
+    std::lock_guard<std::mutex> guard(mutex_);
     auto it = std::find(live_.begin(), live_.end(), group);
     if (it == live_.end())
         return;
@@ -250,6 +252,7 @@ Registry::remove(Group *group)
 void
 Registry::accept(StatsVisitor &visitor) const
 {
+    std::lock_guard<std::mutex> guard(mutex_);
     for (const Group *group : live_)
         group->accept(visitor);
     for (const auto &group : retired_)
@@ -259,6 +262,7 @@ Registry::accept(StatsVisitor &visitor) const
 void
 Registry::resetAll()
 {
+    std::lock_guard<std::mutex> guard(mutex_);
     for (Group *group : live_)
         group->resetAll();
 }

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -210,8 +211,13 @@ class Group
  * With retention enabled (setRetainRetired), a destructing group
  * leaves a final-value snapshot behind, so a consumer like the CLI's
  * --stats-json can report on components that died with their Soc
- * before the dump point. The simulator is single-threaded by design,
- * so no synchronization is required.
+ * before the dump point.
+ *
+ * Registration is mutex-protected: sharded tools (siopmp_fuzz --jobs)
+ * construct and destruct whole component trees on worker threads, and
+ * every Group ctor/dtor lands here. The stat *values* stay
+ * unsynchronized — each worker only touches groups it owns, and
+ * accept()/resetAll() are only meaningful once workers have joined.
  */
 class Registry
 {
@@ -230,13 +236,32 @@ class Registry
     /** Keep final-value snapshots of destructed groups. */
     void setRetainRetired(bool retain) { retain_ = retain; }
     bool retainRetired() const { return retain_; }
-    void clearRetired() { retired_.clear(); }
 
-    std::size_t numLive() const { return live_.size(); }
-    std::size_t numRetired() const { return retired_.size(); }
+    void
+    clearRetired()
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        retired_.clear();
+    }
+
+    std::size_t
+    numLive() const
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        return live_.size();
+    }
+
+    std::size_t
+    numRetired() const
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        return retired_.size();
+    }
+
     const std::vector<Group *> &liveGroups() const { return live_; }
 
   private:
+    mutable std::mutex mutex_;
     std::vector<Group *> live_;
     std::vector<std::unique_ptr<Group>> retired_;
     bool retain_ = false;

@@ -18,6 +18,11 @@ namespace siopmp {
 namespace check {
 namespace {
 
+struct KindStages {
+    iopmp::CheckerKind kind;
+    unsigned stages;
+};
+
 FuzzCaseConfig
 smallConfig(iopmp::CheckerKind kind, unsigned stages)
 {
@@ -83,6 +88,38 @@ TEST(DifferentialFuzz, WideSidConfigClean)
 {
     expectClean(wideConfig(iopmp::CheckerKind::Linear, 1), 200);
     expectClean(wideConfig(iopmp::CheckerKind::PipelineTree, 4), 200);
+}
+
+/** Regression profile with the check-path accelerator forced ON: the
+ * verdict cache and compiled plans must stay bit-identical to the
+ * oracle across every checker kind, dense and 128-SID-wide. */
+TEST(DifferentialFuzz, CacheForcedOnAllKindsClean)
+{
+    const KindStages kinds[] = {
+        {iopmp::CheckerKind::Linear, 1u},
+        {iopmp::CheckerKind::Tree, 1u},
+        {iopmp::CheckerKind::PipelineLinear, 2u},
+        {iopmp::CheckerKind::PipelineTree, 4u},
+    };
+    for (const auto &[kind, stages] : kinds) {
+        FuzzCaseConfig dense = smallConfig(kind, stages);
+        dense.accel = AccelMode::On;
+        expectClean(dense, 200);
+        FuzzCaseConfig wide = wideConfig(kind, stages);
+        wide.accel = AccelMode::On;
+        expectClean(wide, 100);
+    }
+}
+
+/** And forced OFF: the escape-hatch path is the pure checker walk. */
+TEST(DifferentialFuzz, CacheForcedOffClean)
+{
+    FuzzCaseConfig cfg = smallConfig(iopmp::CheckerKind::Linear, 1);
+    cfg.accel = AccelMode::Off;
+    expectClean(cfg, 200);
+    FuzzCaseConfig wide = wideConfig(iopmp::CheckerKind::Tree, 1);
+    wide.accel = AccelMode::Off;
+    expectClean(wide, 100);
 }
 
 TEST(DifferentialFuzz, GenerationIsDeterministic)

@@ -7,6 +7,7 @@
  *   siopmp_fuzz [--cases N] [--wide-cases N] [--ops N] [--seed S]
  *               [--checker linear|tree|pipe-linear|pipe-tree|all]
  *               [--stages N] [--entries N] [--sids N] [--mds N]
+ *               [--cache on|off|default] [--jobs N]
  *               [--replay CASE] [--inject lock-bypass|block-hole]
  *               [--trace-out FILE] [--stats-json FILE|-] [--verbose]
  *
@@ -16,6 +17,18 @@
  * configuration (which exercises multi-word SID blocking). Any
  * divergence is minimized to the shortest op trace that still
  * reproduces, printed with its replay coordinates, and exits 1.
+ *
+ * --jobs N shards the campaign legs over N worker threads. Every leg
+ * is a pure function of (seed, config), so the sharding changes
+ * nothing about which cases run — results and exit code are identical
+ * to the single-threaded default; only wall-clock differs. Output is
+ * buffered per leg and printed in deterministic leg order after the
+ * workers join. Tracing (--trace-out) forces --jobs 1: the trace sink
+ * serializes one event stream.
+ *
+ * --cache forces the DUT's check-path accelerator (compiled match
+ * plans + verdict cache, see docs/PERFORMANCE.md) on or off for every
+ * case; "default" defers to SIOPMP_NO_CHECK_CACHE.
  *
  *   --replay K  regenerate case K of the selected checker/sizing,
  *               print every op, and replay it (with trace emission if
@@ -27,12 +40,15 @@
  * See docs/FUZZING.md for the op grammar and workflow.
  */
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "check/fuzzer.hh"
@@ -95,6 +111,7 @@ usage()
         "pipe-linear|pipe-tree|all]\n"
         "                   [--stages N] [--entries N] [--sids N] "
         "[--mds N]\n"
+        "                   [--cache on|off|default] [--jobs N]\n"
         "                   [--replay CASE] [--inject "
         "lock-bypass|block-hole]\n"
         "                   [--trace-out FILE] [--stats-json FILE|-] "
@@ -152,10 +169,9 @@ installInjection(check::DifferentialFuzzer &fuzzer,
 }
 
 void
-printFailure(const check::DifferentialFuzzer &fuzzer,
+printFailure(const check::FuzzCaseConfig &cfg,
              const check::FuzzReport &report)
 {
-    const check::FuzzCaseConfig &cfg = fuzzer.config();
     std::printf("DIVERGENCE: %s\n", report.detail.c_str());
     std::printf("  checker=%s stages=%u entries=%u sids=%u mds=%u\n",
                 iopmp::checkerKindName(cfg.kind), cfg.stages,
@@ -171,28 +187,66 @@ printFailure(const check::DifferentialFuzzer &fuzzer,
         std::printf("    [%2zu] %s\n", i, report.trace[i].toString().c_str());
 }
 
-/** Run one fuzzer campaign leg; returns true iff it stayed clean. */
-bool
-runLeg(const check::FuzzCaseConfig &cfg, std::uint64_t seed,
-       unsigned cases, const std::string &inject, bool verbose)
+/** One campaign leg: a fully specified (config, seed, cases) triple.
+ * Legs are independent and deterministic, which is what makes the
+ * --jobs sharding trivially sound. */
+struct Leg {
+    check::FuzzCaseConfig cfg;
+    std::uint64_t seed = 0;
+    unsigned cases = 0;
+};
+
+/**
+ * Run the legs with @p jobs worker threads (1 = inline on the caller).
+ * Workers claim legs off a shared atomic cursor; a divergence stops
+ * further claims but in-flight legs finish. Nothing is printed from
+ * workers — reports land in the returned vector, indexed like @p legs,
+ * so the caller renders them in deterministic order. Legs never run
+ * (claimed after a stop) report cases_run == 0.
+ */
+std::vector<check::FuzzReport>
+runLegs(const std::vector<Leg> &legs, unsigned jobs,
+        const std::string &inject)
 {
-    check::DifferentialFuzzer fuzzer(cfg, seed);
-    installInjection(fuzzer, inject);
-    const check::FuzzReport report = fuzzer.run(cases);
-    if (report.diverged) {
-        printFailure(fuzzer, report);
-        return false;
+    std::vector<check::FuzzReport> reports(legs.size());
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> stop{false};
+
+    auto worker = [&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= legs.size())
+                return;
+            const Leg &leg = legs[i];
+            check::DifferentialFuzzer fuzzer(leg.cfg, leg.seed);
+            installInjection(fuzzer, inject);
+            reports[i] = fuzzer.run(leg.cases);
+            if (reports[i].diverged)
+                stop.store(true, std::memory_order_relaxed);
+        }
+    };
+
+    if (jobs <= 1 || legs.size() <= 1) {
+        worker();
+        return reports;
     }
-    if (verbose) {
-        std::printf("  ok: checker=%s stages=%u sids=%u: %llu cases, "
-                    "%llu ops, %llu checks\n",
-                    iopmp::checkerKindName(cfg.kind), cfg.stages,
-                    cfg.num_sids,
-                    static_cast<unsigned long long>(report.cases_run),
-                    static_cast<unsigned long long>(report.ops_run),
-                    static_cast<unsigned long long>(report.checks_run));
-    }
-    return true;
+
+    // Workers warn concurrently through the process-wide Logger;
+    // silence it for the parallel phase (replay() does the same for
+    // the rejected-programming chatter anyway).
+    const bool was_quiet = Logger::quiet();
+    Logger::setQuiet(true);
+    std::vector<std::thread> pool;
+    const unsigned nworkers =
+        std::min<std::size_t>(jobs, legs.size());
+    pool.reserve(nworkers);
+    for (unsigned t = 0; t < nworkers; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &thread : pool)
+        thread.join();
+    Logger::setQuiet(was_quiet);
+    return reports;
 }
 
 int
@@ -236,13 +290,29 @@ main(int argc, char **argv)
     const std::string checker = args.value("--checker", "all");
     const auto stages = static_cast<unsigned>(args.number("--stages", 0));
     const std::string inject = args.value("--inject", "");
+    if (!inject.empty() && inject != "lock-bypass" &&
+        inject != "block-hole") {
+        std::fprintf(stderr, "unknown injection '%s'\n", inject.c_str());
+        return 2;
+    }
     const bool verbose = args.flag("--verbose");
+    auto jobs = static_cast<unsigned>(
+        std::max<long long>(1, args.number("--jobs", 1)));
 
     check::FuzzCaseConfig base;
     base.num_entries = static_cast<unsigned>(args.number("--entries", 24));
     base.num_sids = static_cast<unsigned>(args.number("--sids", 16));
     base.num_mds = static_cast<unsigned>(args.number("--mds", 8));
     base.ops_per_case = static_cast<unsigned>(args.number("--ops", 96));
+    const std::string cache = args.value("--cache", "default");
+    if (cache == "on") {
+        base.accel = check::AccelMode::On;
+    } else if (cache == "off") {
+        base.accel = check::AccelMode::Off;
+    } else if (cache != "default") {
+        std::fprintf(stderr, "unknown cache mode '%s'\n", cache.c_str());
+        return 2;
+    }
 
     // Observability plumbing (same conventions as siopmp-cli).
     const std::string trace_path = args.value("--trace-out", "");
@@ -275,31 +345,61 @@ main(int argc, char **argv)
         wide.num_sids = 128;
         wide.num_entries = base.num_entries * 2;
 
-        std::uint64_t total_cases = 0;
+        std::vector<Leg> legs;
         for (const Combo &combo : campaignCombos(checker, stages)) {
             check::FuzzCaseConfig cfg = base;
             cfg.kind = combo.kind;
             cfg.stages = combo.stages;
-            if (!runLeg(cfg, seed, cases, inject, verbose)) {
+            legs.push_back({cfg, seed, cases});
+            if (wide_cases > 0) {
+                wide.kind = combo.kind;
+                wide.stages = combo.stages;
+                legs.push_back({wide, seed ^ 0x57ede, wide_cases});
+            }
+        }
+
+        if (trace_sink && jobs > 1) {
+            std::fprintf(stderr,
+                         "note: --trace-out serializes one event "
+                         "stream; forcing --jobs 1\n");
+            jobs = 1;
+        }
+
+        const std::vector<check::FuzzReport> reports =
+            runLegs(legs, jobs, inject);
+
+        // Render in leg order: the first (lowest-index) divergence is
+        // reported, matching the single-threaded walk.
+        std::uint64_t total_cases = 0, total_ops = 0, total_checks = 0;
+        for (std::size_t i = 0; i < legs.size(); ++i) {
+            const check::FuzzReport &report = reports[i];
+            total_cases += report.cases_run;
+            total_ops += report.ops_run;
+            total_checks += report.checks_run;
+            if (report.diverged) {
+                printFailure(legs[i].cfg, report);
                 rc = 1;
                 break;
             }
-            wide.kind = combo.kind;
-            wide.stages = combo.stages;
-            if (wide_cases > 0 &&
-                !runLeg(wide, seed ^ 0x57ede, wide_cases, inject,
-                        verbose)) {
-                rc = 1;
-                break;
+            if (verbose && report.cases_run > 0) {
+                std::printf(
+                    "  ok: checker=%s stages=%u sids=%u: %llu cases, "
+                    "%llu ops, %llu checks\n",
+                    iopmp::checkerKindName(legs[i].cfg.kind),
+                    legs[i].cfg.stages, legs[i].cfg.num_sids,
+                    static_cast<unsigned long long>(report.cases_run),
+                    static_cast<unsigned long long>(report.ops_run),
+                    static_cast<unsigned long long>(report.checks_run));
             }
-            total_cases += cases + wide_cases;
         }
         if (rc == 0) {
-            std::printf("fuzz: clean — %llu cases across %zu checker "
-                        "combos, seed %llu\n",
+            std::printf("fuzz: clean — %llu cases (%llu ops, %llu "
+                        "checks) across %zu legs, seed %llu, jobs %u\n",
                         static_cast<unsigned long long>(total_cases),
-                        campaignCombos(checker, stages).size(),
-                        static_cast<unsigned long long>(seed));
+                        static_cast<unsigned long long>(total_ops),
+                        static_cast<unsigned long long>(total_checks),
+                        legs.size(),
+                        static_cast<unsigned long long>(seed), jobs);
         }
     }
 

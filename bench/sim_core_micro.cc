@@ -18,6 +18,16 @@
  * are asserted equal — a built-in differential check. Results go to
  * BENCH_sim_core.json (path overridable via argv).
  *
+ * A third section measures the sharded parallel engine: a 16-device
+ * saturated topology (one DMA engine per master port, each port its
+ * own tick domain) swept over worker thread counts {1, 2, 4, 8}. The
+ * sequential loop is the baseline; every sweep point must reproduce
+ * its cycle count and statistics dump byte-for-byte (the engine's
+ * bit-identity contract), and the emitted "thread_scaling" series
+ * records s/Mcycle + speedup per thread count. Meaningful speedups
+ * need real cores — run_bench.sh only gates on the series when the
+ * host has >= 4 (the "host_cores" field).
+ *
  * Usage: sim_core_micro [iters] [out.json]
  *   iters scales the workload length (default 40; run_bench.sh uses a
  *   small value for the smoke test).
@@ -26,7 +36,11 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "devices/dma_engine.hh"
 #include "sim/logging.hh"
@@ -149,6 +163,85 @@ runSaturated(bool fast_forward, unsigned iters)
     return m;
 }
 
+// ---------------------------------------------------------------------------
+// Thread-scaling sweep (parallel engine).
+// ---------------------------------------------------------------------------
+
+constexpr unsigned kScalingDevices = 16;
+
+struct ScalingPoint {
+    unsigned threads = 0; //!< 0 = sequential reference loop
+    double host_seconds = 0;
+    Cycle simulated = 0;
+    std::string stats;
+
+    double
+    secondsPerMegacycle() const
+    {
+        return simulated == 0
+                   ? 0.0
+                   : host_seconds / (static_cast<double>(simulated) / 1e6);
+    }
+};
+
+/**
+ * Saturated 16-device run: every master port hosts a DMA engine with a
+ * deep outstanding queue, each in its own tick domain, all hammering
+ * the fabric every cycle. Nothing is quiescent, so the measurement is
+ * pure per-cycle throughput — the shape the parallel engine targets.
+ */
+ScalingPoint
+runScaling(unsigned threads, unsigned iters)
+{
+    soc::SocConfig cfg;
+    cfg.num_masters = kScalingDevices;
+    cfg.checker_kind = iopmp::CheckerKind::PipelineTree;
+    cfg.checker_stages = 2;
+    soc::Soc soc(cfg);
+    soc.setThreads(threads);
+
+    std::vector<std::unique_ptr<dev::DmaEngine>> engines;
+    for (unsigned i = 0; i < kScalingDevices; ++i) {
+        engines.push_back(std::make_unique<dev::DmaEngine>(
+            "dma" + std::to_string(i), static_cast<DeviceId>(i + 1),
+            soc.masterLink(i)));
+        soc.addDevice(engines.back().get(), i);
+    }
+
+    auto &unit = soc.iopmp();
+    for (MdIndex md = 0; md < unit.config().num_mds; ++md)
+        unit.mdcfg().setTop(md, std::min(64u, (md + 1) * 4));
+    for (Sid sid = 0; sid < kScalingDevices; ++sid) {
+        unit.cam().set(sid, sid + 1);
+        unit.src2md().associate(sid, sid);
+        unit.entryTable().set(
+            sid * 4, iopmp::Entry::range(kDmaRegion + sid * kRegionSize,
+                                         kRegionSize, Perm::ReadWrite));
+    }
+
+    const Cycle budget = static_cast<Cycle>(iters) * 10'000;
+    const auto t0 = std::chrono::steady_clock::now();
+    while (soc.sim().now() < budget) {
+        for (unsigned i = 0; i < kScalingDevices; ++i) {
+            if (engines[i]->done())
+                engines[i]->start(burstJob(i, 64 * 1024, 8),
+                                  soc.sim().now());
+        }
+        soc.sim().run(1'000);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+
+    ScalingPoint p;
+    p.threads = threads;
+    p.host_seconds = std::chrono::duration<double>(t1 - t0).count();
+    p.simulated = soc.sim().now();
+    std::ostringstream os;
+    stats::TextStatsWriter writer(os);
+    soc.accept(writer);
+    p.stats = os.str();
+    return p;
+}
+
 void
 emitWorkload(std::FILE *f, const char *name, const Measurement &ff,
              const Measurement &naive, bool last)
@@ -208,6 +301,27 @@ main(int argc, char **argv)
                 sat_ff.secondsPerMegacycle(),
                 static_cast<unsigned long long>(sat_ff.skipped));
 
+    // Thread-scaling sweep: sequential baseline, then the parallel
+    // engine at 1/2/4/8 workers on the same 16-device workload. Every
+    // point must reproduce the baseline bit-for-bit.
+    const ScalingPoint scaling_seq = runScaling(0, iters);
+    std::vector<ScalingPoint> scaling;
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+        scaling.push_back(runScaling(threads, iters));
+        SIOPMP_ASSERT(scaling.back().simulated == scaling_seq.simulated,
+                      "thread-scaling cycle counts diverged from the "
+                      "sequential baseline");
+        SIOPMP_ASSERT(scaling.back().stats == scaling_seq.stats,
+                      "thread-scaling statistics diverged from the "
+                      "sequential baseline");
+        std::printf("scaling(t=%u): %.3f s/Mcycle (%.2fx vs sequential)\n",
+                    threads, scaling.back().secondsPerMegacycle(),
+                    scaling.back().host_seconds > 0
+                        ? scaling_seq.host_seconds /
+                              scaling.back().host_seconds
+                        : 0.0);
+    }
+
     std::FILE *f = std::fopen(out_path.c_str(), "w");
     if (f == nullptr) {
         std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
@@ -216,8 +330,31 @@ main(int argc, char **argv)
     std::fprintf(f, "{\n  \"benchmark\": \"sim_core_micro\",\n"
                     "  \"iters\": %u,\n", iters);
     emitWorkload(f, "idle_heavy", idle_ff, idle_naive, false);
-    emitWorkload(f, "saturated", sat_ff, sat_naive, true);
-    std::fprintf(f, "}\n");
+    emitWorkload(f, "saturated", sat_ff, sat_naive, false);
+    std::fprintf(f,
+                 "  \"thread_scaling\": {\n"
+                 "    \"num_devices\": %u,\n"
+                 "    \"simulated_cycles\": %llu,\n"
+                 "    \"host_cores\": %u,\n"
+                 "    \"sequential_s_per_mcycle\": %.9f,\n"
+                 "    \"series\": [\n",
+                 kScalingDevices,
+                 static_cast<unsigned long long>(scaling_seq.simulated),
+                 std::thread::hardware_concurrency(),
+                 scaling_seq.secondsPerMegacycle());
+    for (std::size_t i = 0; i < scaling.size(); ++i) {
+        const ScalingPoint &p = scaling[i];
+        const double speedup = p.host_seconds > 0
+                                   ? scaling_seq.host_seconds /
+                                         p.host_seconds
+                                   : 0.0;
+        std::fprintf(f,
+                     "      {\"threads\": %u, \"s_per_mcycle\": %.9f, "
+                     "\"speedup\": %.3f}%s\n",
+                     p.threads, p.secondsPerMegacycle(), speedup,
+                     i + 1 == scaling.size() ? "" : ",");
+    }
+    std::fprintf(f, "    ]\n  }\n}\n");
     std::fclose(f);
     std::printf("wrote %s\n", out_path.c_str());
     return 0;

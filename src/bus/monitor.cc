@@ -9,7 +9,7 @@ namespace siopmp {
 namespace bus {
 
 void
-BusMonitor::recordBlockWindow(DeviceId device, Cycle cycles)
+BusMonitor::recordWindowNow(DeviceId device, Cycle cycles)
 {
     ++block_windows_;
     ++stats_.scalar("block_windows");

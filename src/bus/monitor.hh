@@ -20,12 +20,22 @@
 #include <map>
 
 #include "bus/packet.hh"
+#include "sim/exec_context.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace siopmp {
 namespace bus {
 
+/**
+ * The monitor is shared fabric-wide state: checker nodes in different
+ * tick domains report into it. The mutating entry points therefore
+ * self-defer to the scheduler's main section when called from a
+ * concurrent tick phase (inParallelPhase() guards keep the sequential
+ * hot path free of std::function construction); readers (quiesced,
+ * inflight...) run from firmware/event context, which is already
+ * sequential.
+ */
 class BusMonitor
 {
   public:
@@ -33,20 +43,20 @@ class BusMonitor
     void
     onRequestStart(DeviceId device)
     {
-        ++inflight_[device];
-        ++total_started_;
+        if (simctx::inParallelPhase() &&
+            simctx::deferShared([this, device] { startNow(device); }))
+            return;
+        startNow(device);
     }
 
     /** Record that the matching response burst fully returned. */
     void
     onResponseEnd(DeviceId device)
     {
-        auto it = inflight_.find(device);
-        if (it == inflight_.end() || it->second == 0)
-            return; // response for a pre-monitor transaction; ignore
-        if (--it->second == 0)
-            inflight_.erase(it);
-        ++total_completed_;
+        if (simctx::inParallelPhase() &&
+            simctx::deferShared([this, device] { endNow(device); }))
+            return;
+        endNow(device);
     }
 
     /** True iff no transaction from @p device is anywhere in flight. */
@@ -73,7 +83,15 @@ class BusMonitor
      * Record a completed blocking window: @p device's head request
      * stalled on its SID block bit for @p cycles before proceeding.
      */
-    void recordBlockWindow(DeviceId device, Cycle cycles);
+    void
+    recordBlockWindow(DeviceId device, Cycle cycles)
+    {
+        if (simctx::inParallelPhase() &&
+            simctx::deferShared(
+                [this, device, cycles] { recordWindowNow(device, cycles); }))
+            return;
+        recordWindowNow(device, cycles);
+    }
 
     /** Completed blocking windows observed so far. */
     std::uint64_t blockWindows() const { return block_windows_; }
@@ -90,6 +108,26 @@ class BusMonitor
     }
 
   private:
+    void
+    startNow(DeviceId device)
+    {
+        ++inflight_[device];
+        ++total_started_;
+    }
+
+    void
+    endNow(DeviceId device)
+    {
+        auto it = inflight_.find(device);
+        if (it == inflight_.end() || it->second == 0)
+            return; // response for a pre-monitor transaction; ignore
+        if (--it->second == 0)
+            inflight_.erase(it);
+        ++total_completed_;
+    }
+
+    void recordWindowNow(DeviceId device, Cycle cycles);
+
     std::map<DeviceId, std::uint64_t> inflight_;
     std::uint64_t total_started_ = 0;
     std::uint64_t total_completed_ = 0;

@@ -49,11 +49,12 @@ CheckAccel::defaultEnabled()
     return env == nullptr || env[0] == '\0' || env[0] == '0';
 }
 
-CheckAccel::CheckAccel(const EntryTable &entries, const MdCfgTable &mdcfg)
+CheckAccel::CheckAccel(const EntryTable &entries, const MdCfgTable &mdcfg,
+                       std::string group_name)
     : entries_(entries),
       mdcfg_(mdcfg),
       lines_(kCacheLines),
-      stats_("check_accel")
+      stats_(std::move(group_name))
 {
     // The counters sit on the per-check hot path: resolve the name ->
     // Scalar map lookups once here instead of per event.

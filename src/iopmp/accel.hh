@@ -51,6 +51,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -67,7 +68,10 @@ struct CheckResult;
 class CheckAccel
 {
   public:
-    CheckAccel(const EntryTable &entries, const MdCfgTable &mdcfg);
+    /** @p group_name names the stats group; per-CheckerNode replicas
+     * pass "<node>.accel" so concurrent instances stay distinct. */
+    CheckAccel(const EntryTable &entries, const MdCfgTable &mdcfg,
+               std::string group_name = "check_accel");
 
     /**
      * Authorize one access. Bit-identical to the reference

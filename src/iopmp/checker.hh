@@ -100,10 +100,22 @@ class CheckerLogic
     void
     setAccelEnabled(bool on)
     {
-        if (on && !accel_)
-            accel_ = std::make_unique<CheckAccel>(entries_, mdcfg_);
-        else if (!on)
+        if (on && !accel_) {
+            accel_ = std::make_unique<CheckAccel>(entries_, mdcfg_,
+                                                  accel_stats_name_);
+        } else if (!on) {
             accel_.reset();
+        }
+    }
+
+    /**
+     * Name the accelerator's stats group (default "check_accel").
+     * Per-CheckerNode replicas set "<node>.accel" before enabling the
+     * accelerator so concurrent instances report separately.
+     */
+    void setAccelStatsName(std::string name)
+    {
+        accel_stats_name_ = std::move(name);
     }
 
     bool accelEnabled() const { return accel_ != nullptr; }
@@ -148,8 +160,11 @@ class CheckerLogic
     //! Optional acceleration layer (plans + verdict cache). Mutable
     //! for the same reason as TreeChecker's scratch buffers: check()
     //! is logically const but the cache state evolves. Not
-    //! thread-safe across concurrent checks of one instance.
+    //! thread-safe across concurrent checks of one instance — under
+    //! the parallel engine each CheckerNode checks through its own
+    //! replica (CheckerNode::syncLogic).
     mutable std::unique_ptr<CheckAccel> accel_;
+    std::string accel_stats_name_ = "check_accel";
 };
 
 /** Factory covering every evaluated configuration. */

@@ -48,6 +48,24 @@ CheckerNode::CheckerNode(std::string name, bus::Link *up, bus::Link *down,
     down_->d.bindWake(this);
     if (err_ != nullptr)
         err_->d.bindWake(this);
+    // Build the replica eagerly so its stats group registers in
+    // construction order (deterministic JSON output), never from
+    // inside a concurrent tick phase.
+    syncLogic();
+}
+
+void
+CheckerNode::syncLogic()
+{
+    const CheckerLogic &ref = unit_->checker();
+    if (!logic_ || logic_->kind() != ref.kind() ||
+        logic_->stages() != ref.stages()) {
+        logic_ = makeChecker(ref.kind(), ref.stages(), unit_->entryTable(),
+                             unit_->mdcfg());
+        logic_->setAccelStatsName(name() + ".accel");
+    }
+    if (logic_->accelEnabled() != ref.accelEnabled())
+        logic_->setAccelEnabled(ref.accelEnabled());
 }
 
 bool
@@ -84,6 +102,7 @@ CheckerNode::acceptRequests(Cycle now)
     // between experiments.
     req_pipe_.configure(requestDelay());
     resp_pipe_.configure(responseDelay());
+    syncLogic();
 
     if (up_->a.empty() || !req_pipe_.canPush())
         return;
@@ -215,7 +234,8 @@ CheckerNode::dispatchRequests(Cycle now)
     }
 
     const AuthResult auth =
-        unit_->authorize(beat.device, beat.addr, len, perm, now);
+        unit_->authorize(beat.device, beat.addr, len, perm, now,
+                         logic_.get());
 
     switch (auth.status) {
       case AuthStatus::SidMiss:

@@ -23,6 +23,7 @@
 #define IOPMP_CHECKER_NODE_HH
 
 #include <deque>
+#include <memory>
 #include <optional>
 
 #include "bus/link.hh"
@@ -104,6 +105,16 @@ class CheckerNode : public Tickable
     void dispatchRequests(Cycle now);
     void forwardResponses(Cycle now);
 
+    /**
+     * Keep the node's private checker replica in sync with the unit's
+     * configured checker (kind, stages, accelerator enablement). Each
+     * node checks through its own replica — verdicts are bit-identical
+     * by construction (pure function of the shared tables) while the
+     * replica's mutable scratch/cache state stays domain-private, so
+     * checker nodes in different tick domains never contend.
+     */
+    void syncLogic();
+
     Cycle requestDelay() const;
     Cycle responseDelay() const;
 
@@ -124,6 +135,9 @@ class CheckerNode : public Tickable
     SIopmp *unit_;
     bus::BusMonitor *monitor_;
     ViolationPolicy policy_;
+
+    //! Private replica of the unit's checker logic (see syncLogic).
+    std::unique_ptr<CheckerLogic> logic_;
 
     DelayPipe req_pipe_;
     DelayPipe resp_pipe_;

@@ -6,6 +6,7 @@
 #include "iopmp/siopmp.hh"
 
 #include "iopmp/accel.hh"
+#include "sim/exec_context.hh"
 #include "sim/logging.hh"
 
 namespace siopmp {
@@ -42,6 +43,12 @@ SIopmp::SIopmp(IopmpConfig cfg, CheckerKind kind, unsigned stages)
     // it. Directly-constructed checkers (unit tests) stay uncached so
     // they exercise the real reduction logic.
     checker_->setAccelEnabled(CheckAccel::defaultEnabled());
+    st_checks_ = &stats_.scalar("checks");
+    st_sid_misses_ = &stats_.scalar("sid_misses");
+    st_blocked_ = &stats_.scalar("blocked_stalls");
+    st_allows_ = &stats_.scalar("allows");
+    st_denies_ = &stats_.scalar("denies");
+    st_write_rejects_ = &stats_.scalar("mmio_write_rejects");
 }
 
 void
@@ -79,33 +86,49 @@ void
 SIopmp::rejectWrite(Addr offset)
 {
     ++write_rejects_;
-    ++stats_.scalar("mmio_write_rejects");
+    ++*st_write_rejects_;
     warn("siopmp: MMIO write to offset %#llx rejected (lock/validity)",
          static_cast<unsigned long long>(offset));
 }
 
 AuthResult
 SIopmp::authorize(DeviceId device, Addr addr, Addr len, Perm perm,
-                  Cycle now)
+                  Cycle now, const CheckerLogic *logic)
 {
-    ++stats_.scalar("checks");
+    // Inside a concurrent tick phase the verdict is computed
+    // immediately (the architectural tables are read-only across the
+    // phase — every writer defers to the main section) while the
+    // shared side effects are deferred so they land in sequential
+    // order. The legacy path below stays branch-cheap and identical.
+    const bool in_phase = simctx::inParallelPhase();
+    ++*st_checks_;
 
     // Stage 1: device -> SID via the CAM (touches the use bit), then
     // the eSID register for the mounted cold device.
     Sid sid = kNoSid;
-    if (auto hot = cam_.lookup(device)) {
+    const std::optional<Sid> hot =
+        in_phase ? cam_.peek(device) : cam_.lookup(device);
+    if (hot) {
         sid = *hot;
+        if (in_phase)
+            simctx::deferShared([this, device] { cam_.touch(device); });
     } else if (esid_ && *esid_ == device) {
         sid = coldSid();
     } else {
-        ++stats_.scalar("sid_misses");
-        raise(Irq{IrqKind::SidMissing, device, addr, perm});
+        ++*st_sid_misses_;
+        if (in_phase) {
+            simctx::deferShared([this, device, addr, perm] {
+                raise(Irq{IrqKind::SidMissing, device, addr, perm});
+            });
+        } else {
+            raise(Irq{IrqKind::SidMissing, device, addr, perm});
+        }
         return {AuthStatus::SidMiss, kNoSid, -1};
     }
 
     // Stage 2: per-SID block bit (atomic-modification primitive).
     if (blocks_.blocked(sid)) {
-        ++stats_.scalar("blocked_stalls");
+        ++*st_blocked_;
         return {AuthStatus::Blocked, sid, -1};
     }
 
@@ -116,18 +139,26 @@ SIopmp::authorize(DeviceId device, Addr addr, Addr len, Perm perm,
     req.perm = perm;
     req.md_bitmap = src2md_.bitmap(sid);
     req.now = now;
-    const CheckResult result = checker_->check(req);
+    const CheckResult result = (logic ? logic : checker_.get())->check(req);
 
     if (result.allowed) {
-        ++stats_.scalar("allows");
+        ++*st_allows_;
         return {AuthStatus::Allow, sid, result.entry};
     }
 
-    ++stats_.scalar("denies");
-    if (!violation_) {
-        violation_ = ViolationRecord{addr, device, perm, now};
+    ++*st_denies_;
+    if (in_phase) {
+        simctx::deferShared([this, device, addr, perm, now] {
+            if (!violation_)
+                violation_ = ViolationRecord{addr, device, perm, now};
+            raise(Irq{IrqKind::Violation, device, addr, perm});
+        });
+    } else {
+        if (!violation_) {
+            violation_ = ViolationRecord{addr, device, perm, now};
+        }
+        raise(Irq{IrqKind::Violation, device, addr, perm});
     }
-    raise(Irq{IrqKind::Violation, device, addr, perm});
     return {AuthStatus::Deny, sid, result.entry};
 }
 
@@ -200,6 +231,19 @@ SIopmp::mmioRead(Addr offset)
 
 void
 SIopmp::mmioWrite(Addr offset, std::uint64_t value)
+{
+    // Config writes mutate tables that concurrent tick phases read;
+    // from a phase (e.g. a CPU node servicing firmware in its own
+    // domain) the write lands in the main section instead. Belt and
+    // braces: the CPU/firmware paths already defer wholesale.
+    if (simctx::deferShared(
+            [this, offset, value] { applyMmioWrite(offset, value); }))
+        return;
+    applyMmioWrite(offset, value);
+}
+
+void
+SIopmp::applyMmioWrite(Addr offset, std::uint64_t value)
 {
     using namespace regmap;
 

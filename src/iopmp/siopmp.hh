@@ -99,9 +99,17 @@ class SIopmp : public mem::MmioDevice
      * Authorize one DMA access of @p len bytes at @p addr from
      * @p device. Raises interrupts through the handler as a side
      * effect (SID-missing on unknown device, violation on deny).
+     *
+     * @p logic optionally substitutes the permission-check stage (a
+     * CheckerNode's private replica under the parallel engine; the
+     * verdict is bit-identical by construction). Inside a concurrent
+     * tick phase the shared side effects — CAM use-bit touch,
+     * violation latch, interrupt delivery — are deferred to the
+     * end-of-cycle main section; the returned verdict is unaffected.
      */
     AuthResult authorize(DeviceId device, Addr addr, Addr len, Perm perm,
-                         Cycle now = 0);
+                         Cycle now = 0,
+                         const CheckerLogic *logic = nullptr);
 
     /** Resolve a device to a SID without side effects (tests). */
     std::optional<Sid> resolveSid(DeviceId device) const;
@@ -178,6 +186,10 @@ class SIopmp : public mem::MmioDevice
   private:
     void raise(const Irq &irq);
 
+    /** The real register-write logic behind mmioWrite (which defers
+     * here from concurrent tick phases). */
+    void applyMmioWrite(Addr offset, std::uint64_t value);
+
     /** Note one rejected MMIO config write at @p offset. */
     void rejectWrite(Addr offset);
 
@@ -195,6 +207,16 @@ class SIopmp : public mem::MmioDevice
     std::optional<ViolationRecord> violation_;
     IrqHandler irq_;
     stats::Group stats_;
+    //! Hot-path counters, resolved once in the ctor: scalar() does a
+    //! map lookup and its first call inserts — neither belongs on the
+    //! per-check path, and lazy insertion would race under the
+    //! parallel engine.
+    stats::Scalar *st_checks_;
+    stats::Scalar *st_sid_misses_;
+    stats::Scalar *st_blocked_;
+    stats::Scalar *st_allows_;
+    stats::Scalar *st_denies_;
+    stats::Scalar *st_write_rejects_;
     std::uint64_t write_rejects_ = 0;
     std::uint64_t config_epoch_ = 0;
 

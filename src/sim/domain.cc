@@ -1,0 +1,399 @@
+/**
+ * @file
+ * DomainScheduler implementation and the thread-local execution
+ * context (sim/exec_context.hh).
+ */
+
+#include "sim/domain.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+#include "sim/event_queue.hh"
+#include "sim/exec_context.hh"
+#include "sim/logging.hh"
+#include "sim/simulator.hh"
+#include "sim/tickable.hh"
+
+namespace siopmp {
+
+namespace {
+
+/**
+ * Per-thread execution state. `in_phase` is true only inside the
+ * concurrent evaluate/advance phases; the main section runs with a
+ * staging domain set (for trace ordering) but in_phase false, so
+ * nested shared operations execute inline, in order.
+ */
+struct ExecCtx {
+    DomainScheduler *sched = nullptr;
+    TickDomain *dom = nullptr;   //!< staging target (emits land here)
+    std::uint32_t order = 0;     //!< current component's registration order
+    bool in_phase = false;
+};
+
+ExecCtx &
+tls()
+{
+    static thread_local ExecCtx ctx;
+    return ctx;
+}
+
+/** Live schedulers, for installing/clearing the global trace hook. */
+std::atomic<int> live_schedulers{0};
+
+/** Tracer buffer hook: stage events per domain while a context is
+ * active, so sinks only ever see the merged, ordered stream. */
+bool
+stageTraceEvent(const trace::Event &event)
+{
+    ExecCtx &ctx = tls();
+    if (ctx.dom == nullptr)
+        return false;
+    ctx.dom->trace_buf.push_back({event, ctx.order});
+    return true;
+}
+
+} // namespace
+
+namespace simctx {
+
+bool
+inParallelPhase()
+{
+    return tls().in_phase;
+}
+
+bool
+deferShared(std::function<void()> fn)
+{
+    ExecCtx &ctx = tls();
+    if (!ctx.in_phase || ctx.dom == nullptr)
+        return false;
+    ctx.dom->deferred.push_back(
+        {ctx.order, ctx.dom->next_seq++, std::move(fn)});
+    return true;
+}
+
+bool
+deferEvent(EventQueue *queue, Cycle when, Tickable *wake,
+           std::function<void()> cb)
+{
+    if (!inParallelPhase())
+        return false;
+    return deferShared([queue, when, wake, cb = std::move(cb)]() mutable {
+        if (wake != nullptr)
+            queue->scheduleWake(when, wake);
+        else
+            queue->schedule(when, std::move(cb));
+    });
+}
+
+Rng *
+domainRng()
+{
+    ExecCtx &ctx = tls();
+    return ctx.in_phase && ctx.dom != nullptr ? &ctx.dom->rng : nullptr;
+}
+
+} // namespace simctx
+
+void
+PhaseBarrier::arriveAndWait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    const std::uint64_t generation = generation_;
+    if (++waiting_ == parties_) {
+        waiting_ = 0;
+        ++generation_;
+        cv_.notify_all();
+        return;
+    }
+    cv_.wait(lock, [&] { return generation_ != generation; });
+}
+
+DomainScheduler::DomainScheduler(Simulator &sim, unsigned threads)
+    : sim_(sim),
+      threads_(threads),
+      start_barrier_(threads),
+      mid_barrier_(threads),
+      end_barrier_(threads)
+{
+    SIOPMP_ASSERT(threads_ >= 1, "scheduler needs at least one thread");
+    if (live_schedulers.fetch_add(1) == 0)
+        trace::tracer().setBufferHook(&stageTraceEvent);
+    workers_.reserve(threads_ - 1);
+    for (unsigned tid = 1; tid < threads_; ++tid)
+        workers_.emplace_back([this, tid] { workerLoop(tid); });
+}
+
+DomainScheduler::~DomainScheduler()
+{
+    stop_ = true;
+    if (!workers_.empty())
+        start_barrier_.arriveAndWait(); // release workers into the stop check
+    for (auto &worker : workers_)
+        worker.join();
+    if (live_schedulers.fetch_sub(1) == 1)
+        trace::tracer().setBufferHook(nullptr);
+}
+
+void
+DomainScheduler::setRngSeed(std::uint64_t seed)
+{
+    rng_seed_ = seed;
+    dirty_ = true;
+}
+
+void
+DomainScheduler::rebuild()
+{
+    unsigned max_domain = 0;
+    for (Tickable *c : sim_.components_)
+        max_domain = std::max(max_domain, c->domain_);
+    domains_.assign(max_domain + 1, TickDomain());
+    for (unsigned d = 0; d <= max_domain; ++d) {
+        domains_[d].index = d;
+        domains_[d].rng.reseed(rng_seed_ ^
+                               (0x9e3779b97f4a7c15ULL * (d + 1)));
+    }
+    for (Tickable *c : sim_.components_) {
+        domains_[c->domain_].members.push_back(c);
+        if (c->active_)
+            ++domains_[c->domain_].num_active;
+    }
+    dirty_ = false;
+}
+
+void
+DomainScheduler::onRemove(Tickable *component)
+{
+    component->pending_wake_.store(false, std::memory_order_relaxed);
+    if (dirty_ || component->domain_ >= domains_.size())
+        return;
+    TickDomain &dom = domains_[component->domain_];
+    auto it = std::find(dom.members.begin(), dom.members.end(), component);
+    if (it == dom.members.end())
+        return;
+    dom.members.erase(it);
+    if (component->active_ && dom.num_active > 0)
+        --dom.num_active;
+}
+
+void
+DomainScheduler::wakeDirect(Tickable *component)
+{
+    component->wake_cycle_ = sim_.now_;
+    if (!component->active_) {
+        component->active_ = true;
+        ++sim_.num_active_;
+        if (!dirty_ && component->domain_ < domains_.size())
+            ++domains_[component->domain_].num_active;
+    }
+}
+
+void
+DomainScheduler::wake(Tickable *component)
+{
+    ExecCtx &ctx = tls();
+    if (ctx.sched == this && ctx.in_phase) {
+        if (ctx.dom != nullptr && component->domain_ == ctx.dom->index) {
+            // Same-domain: the executing thread owns the component.
+            component->wake_cycle_ = cycle_now_;
+            if (!component->active_) {
+                component->active_ = true;
+                ++ctx.dom->num_active;
+            }
+        } else {
+            // Cross-domain: commit at the phase barrier (drained before
+            // the target domain's advance, or in the main section).
+            component->pending_wake_.store(true, std::memory_order_release);
+        }
+        return;
+    }
+    wakeDirect(component);
+}
+
+void
+DomainScheduler::workerLoop(unsigned tid)
+{
+    for (;;) {
+        start_barrier_.arriveAndWait();
+        if (stop_)
+            return;
+        runEvaluate(tid, cycle_now_);
+        mid_barrier_.arriveAndWait();
+        runAdvance(tid, cycle_now_);
+        end_barrier_.arriveAndWait();
+    }
+}
+
+void
+DomainScheduler::runEvaluate(unsigned tid, Cycle now)
+{
+    ExecCtx &ctx = tls();
+    ctx.sched = this;
+    ctx.in_phase = true;
+    const bool ff = sim_.fastForward();
+    for (unsigned d = tid; d < domains_.size(); d += threads_) {
+        TickDomain &dom = domains_[d];
+        if (dom.members.empty())
+            continue;
+        ctx.dom = &dom;
+        for (Tickable *c : dom.members) {
+            if (!ff || c->active_) {
+                ctx.order = c->order_;
+                c->evaluate(now);
+            }
+        }
+    }
+    ctx = ExecCtx{};
+}
+
+void
+DomainScheduler::runAdvance(unsigned tid, Cycle now)
+{
+    ExecCtx &ctx = tls();
+    ctx.sched = this;
+    ctx.in_phase = true;
+    const bool ff = sim_.fastForward();
+    for (unsigned d = tid; d < domains_.size(); d += threads_) {
+        TickDomain &dom = domains_[d];
+        if (dom.members.empty())
+            continue;
+        ctx.dom = &dom;
+        // Commit cross-domain wakes staged during the evaluate phase,
+        // so a freshly-woken consumer clocks its input fifos this
+        // cycle — exactly when the sequential loop would have.
+        for (Tickable *c : dom.members) {
+            if (c->pending_wake_.load(std::memory_order_relaxed) &&
+                c->pending_wake_.exchange(false,
+                                          std::memory_order_acquire)) {
+                c->wake_cycle_ = now;
+                if (!c->active_) {
+                    c->active_ = true;
+                    ++dom.num_active;
+                }
+            }
+        }
+        for (Tickable *c : dom.members) {
+            if (!ff || c->active_) {
+                ctx.order = c->order_;
+                c->advance(now);
+            }
+        }
+        if (ff) {
+            // Retire quiescent members (same grace-cycle rule as the
+            // sequential loop: anything woken this cycle stays hot).
+            for (Tickable *c : dom.members) {
+                if (c->active_ && c->wake_cycle_ != now &&
+                    c->quiescent(now)) {
+                    c->active_ = false;
+                    --dom.num_active;
+                }
+            }
+        }
+    }
+    ctx = ExecCtx{};
+}
+
+void
+DomainScheduler::mainSection(Cycle now)
+{
+    // 1. Late cross-domain wakes (staged during the advance phase —
+    // the cause is not yet visible to the target, so activating it for
+    // next cycle matches the sequential grace-cycle rule).
+    for (auto &dom : domains_) {
+        for (Tickable *c : dom.members) {
+            if (c->pending_wake_.load(std::memory_order_relaxed) &&
+                c->pending_wake_.exchange(false,
+                                          std::memory_order_acquire))
+                wakeDirect(c);
+        }
+    }
+
+    // 2. Replay deferred shared operations in the order the sequential
+    // loop would have executed them inline: by issuer registration
+    // order, ties by issue order (issuers are unique per domain, so
+    // the per-domain sequence numbers never tie across domains).
+    ops_scratch_.clear();
+    for (auto &dom : domains_) {
+        std::move(dom.deferred.begin(), dom.deferred.end(),
+                  std::back_inserter(ops_scratch_));
+        dom.deferred.clear();
+        dom.next_seq = 0;
+    }
+    if (!ops_scratch_.empty()) {
+        std::stable_sort(ops_scratch_.begin(), ops_scratch_.end(),
+                         [](const TickDomain::DeferredOp &a,
+                            const TickDomain::DeferredOp &b) {
+                             if (a.order != b.order)
+                                 return a.order < b.order;
+                             return a.seq < b.seq;
+                         });
+        ExecCtx &ctx = tls();
+        ctx.sched = this;
+        ctx.dom = &main_stage_; // trace from ops merges in issuer order
+        for (auto &op : ops_scratch_) {
+            ctx.order = op.order;
+            op.fn();
+        }
+        ctx = ExecCtx{};
+        ops_scratch_.clear();
+    }
+
+    // 3. Merge the per-domain trace buffers into one coherent stream:
+    // all events carry the same cycle, so sorting by emitter
+    // registration order (stable, preserving per-component emission
+    // order) reproduces the sequential emission sequence exactly.
+    trace::Sink *sink = trace::tracer().sink();
+    trace_scratch_.clear();
+    for (auto &dom : domains_) {
+        std::move(dom.trace_buf.begin(), dom.trace_buf.end(),
+                  std::back_inserter(trace_scratch_));
+        dom.trace_buf.clear();
+    }
+    std::move(main_stage_.trace_buf.begin(), main_stage_.trace_buf.end(),
+              std::back_inserter(trace_scratch_));
+    main_stage_.trace_buf.clear();
+    if (sink != nullptr && !trace_scratch_.empty()) {
+        std::stable_sort(trace_scratch_.begin(), trace_scratch_.end(),
+                         [](const TickDomain::TraceStage &a,
+                            const TickDomain::TraceStage &b) {
+                             return a.order < b.order;
+                         });
+        for (const auto &staged : trace_scratch_)
+            sink->record(staged.event);
+    }
+    trace_scratch_.clear();
+
+    // 4. Resync the global active count (phase wakes/retires touched
+    // only the per-domain counters).
+    std::size_t total = 0;
+    for (const auto &dom : domains_)
+        total += dom.num_active;
+    sim_.num_active_ = total;
+    (void)now;
+}
+
+void
+DomainScheduler::runCycle(Cycle now)
+{
+    if (dirty_)
+        rebuild();
+    cycle_now_ = now;
+    if (workers_.empty()) {
+        runEvaluate(0, now);
+        runAdvance(0, now);
+    } else {
+        start_barrier_.arriveAndWait();
+        runEvaluate(0, now);
+        mid_barrier_.arriveAndWait();
+        runAdvance(0, now);
+        end_barrier_.arriveAndWait();
+    }
+    mainSection(now);
+}
+
+} // namespace siopmp

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Sharded parallel simulation engine: tick domains with epoch-
+ * synchronized boundaries.
+ *
+ * The SoC is partitioned into **tick domains** — groups of Tickables
+ * (one per device pipeline slice, one for the shared fabric, one for
+ * control/firmware; see Soc) — and a DomainScheduler drives the
+ * domains on worker threads in bulk-synchronous phases per cycle:
+ *
+ *   [main]     fire due events (sequential, like the legacy loop)
+ *   [parallel] phase A: every domain evaluates its active members
+ *   --------- barrier ---------
+ *   [parallel] phase B: drain cross-domain wakes, advance, retire
+ *   --------- barrier ---------
+ *   [main]     main section: replay deferred shared operations in
+ *              registration order, merge per-domain trace buffers,
+ *              apply structural changes, resync active counts
+ *
+ * The epoch length is one cycle because the minimum cross-domain link
+ * latency is one cycle: every inter-domain channel is a registered
+ * bus::Fifo whose staged items only become consumer-visible at the
+ * consumer's clock() in phase B. The fifo's staged_/ready_ pair *is*
+ * the double buffer of the domain boundary — producers touch only the
+ * staging side during phase A while consumers read only the registered
+ * side, so the phases are data-race-free without any fifo locking, and
+ * one barrier per phase is exactly the synchronization the registered
+ * handoff needs. A fabric with deeper boundary registers could run
+ * N-cycle epochs; deriving N = min link latency keeps the schedule
+ * provably identical to the sequential one (see docs/SIMULATION.md).
+ *
+ * Determinism: the domain partition is fixed by topology, never by
+ * thread count. Domains map onto threads round-robin, each domain's
+ * members run in registration order, cross-domain wakes commit at the
+ * phase barrier, and every shared side effect (IOPMP violation latch,
+ * IRQ delivery, CAM use-bit touch, bus-monitor bookkeeping, MMIO
+ * config writes, event-queue inserts) is deferred to the main section
+ * and replayed sorted by the issuing component's registration order —
+ * the order the sequential loop executes them inline. Results are
+ * therefore bit-identical across --threads 1/2/4/8 by construction;
+ * tests/sim/parallel_differential_test.cc proves it against the
+ * legacy loop as well.
+ *
+ * Escape hatches: Simulator::setThreads(0) (never enable) and the
+ * SIOPMP_NO_PARALLEL=1 environment variable (force the legacy loop
+ * even when setThreads is called), mirroring SIOPMP_NO_FAST_FORWARD.
+ */
+
+#ifndef SIM_DOMAIN_HH
+#define SIM_DOMAIN_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/random.hh"
+#include "sim/trace.hh"
+#include "sim/types.hh"
+
+namespace siopmp {
+
+class Simulator;
+class Tickable;
+
+/** Highest allowed tick-domain index (sanity bound, not a tuning). */
+inline constexpr unsigned kMaxDomains = 4096;
+
+/**
+ * One shard of the simulation: the members of a tick domain in
+ * registration order plus the domain-private staging state its worker
+ * thread fills during a phase (deferred shared operations, trace
+ * events, a deterministic random stream).
+ */
+struct TickDomain {
+    /** One operation deferred to the end-of-cycle main section. */
+    struct DeferredOp {
+        std::uint32_t order; //!< registration order of the issuer
+        std::uint32_t seq;   //!< issue order within the domain
+        std::function<void()> fn;
+    };
+
+    /** One trace event staged for the end-of-cycle merge. */
+    struct TraceStage {
+        trace::Event event;
+        std::uint32_t order; //!< registration order of the emitter
+    };
+
+    unsigned index = 0;
+    std::vector<Tickable *> members; //!< registration order
+    std::size_t num_active = 0;
+    Rng rng;
+
+    std::vector<DeferredOp> deferred;
+    std::vector<TraceStage> trace_buf;
+    std::uint32_t next_seq = 0;
+};
+
+/**
+ * Sense-counting barrier for the per-cycle phase synchronization.
+ * Brief spin (cheap when phases are short and cores are plentiful),
+ * then a condition-variable sleep (so oversubscribed hosts — including
+ * single-core CI — make progress instead of burning the quantum).
+ */
+class PhaseBarrier
+{
+  public:
+    explicit PhaseBarrier(unsigned parties) : parties_(parties) {}
+
+    void arriveAndWait();
+
+  private:
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    unsigned parties_;
+    unsigned waiting_ = 0;
+    std::uint64_t generation_ = 0;
+};
+
+/**
+ * Drives one Simulator's components through the phase-barrier protocol
+ * described in the file header. Owned by the Simulator once
+ * setThreads(n >= 1) enables the parallel engine; thread 0 is the
+ * caller of runCycle() (the simulator's own thread), threads 1..n-1
+ * are workers parked between cycles. Domain d runs on thread d mod n.
+ */
+class DomainScheduler
+{
+  public:
+    DomainScheduler(Simulator &sim, unsigned threads);
+    ~DomainScheduler();
+
+    DomainScheduler(const DomainScheduler &) = delete;
+    DomainScheduler &operator=(const DomainScheduler &) = delete;
+
+    /** Execute one full cycle at @p now (events already fired). */
+    void runCycle(Cycle now);
+
+    /** Membership or domain assignment changed; rebuild lazily. */
+    void markDirty() { dirty_ = true; }
+
+    /** Remove @p component from its domain immediately (caller must be
+     * outside the parallel phases, e.g. the main section). */
+    void onRemove(Tickable *component);
+
+    /** Domain-aware wake (see Simulator::wake). */
+    void wake(Tickable *component);
+
+    /** Reseed the per-domain random streams (applies on rebuild). */
+    void setRngSeed(std::uint64_t seed);
+
+    unsigned threads() const { return threads_; }
+    std::size_t numDomains() const { return domains_.size(); }
+
+  private:
+    void rebuild();
+    void workerLoop(unsigned tid);
+    void runEvaluate(unsigned tid, Cycle now);
+    void runAdvance(unsigned tid, Cycle now);
+    void mainSection(Cycle now);
+    void wakeDirect(Tickable *component);
+
+    Simulator &sim_;
+    unsigned threads_;
+    bool dirty_ = true;
+    bool stop_ = false;
+    Cycle cycle_now_ = 0;
+    std::uint64_t rng_seed_ = 0x510d0'113ULL;
+
+    std::vector<TickDomain> domains_;
+    //! Staging area for the main section itself, so trace events
+    //! emitted by deferred operations merge in issuer order too.
+    TickDomain main_stage_;
+
+    std::vector<std::thread> workers_;
+    PhaseBarrier start_barrier_;
+    PhaseBarrier mid_barrier_;
+    PhaseBarrier end_barrier_;
+
+    //! Main-section scratch (reused across cycles).
+    std::vector<TickDomain::DeferredOp> ops_scratch_;
+    std::vector<TickDomain::TraceStage> trace_scratch_;
+};
+
+} // namespace siopmp
+
+#endif // SIM_DOMAIN_HH

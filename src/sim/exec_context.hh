@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Thread-local execution context of the sharded parallel engine
+ * (sim/domain.hh). While a DomainScheduler runs a tick phase, every
+ * worker thread carries a context identifying the tick domain and the
+ * component it is currently executing. Shared-state mutators use it to
+ * stay deterministic and data-race-free:
+ *
+ *  - simctx::inParallelPhase() tells a call site whether it is inside
+ *    a concurrent evaluate/advance phase (false on the legacy
+ *    single-threaded loop, in the scheduler's sequential main section,
+ *    and outside run() entirely — all places where immediate execution
+ *    is safe and matches the sequential schedule);
+ *  - simctx::deferShared() queues an operation to the end-of-cycle
+ *    main section, where the scheduler replays all deferred operations
+ *    sorted by the registration order of the components that issued
+ *    them — i.e. in exactly the order the sequential loop would have
+ *    executed them inline.
+ *
+ * The functions are implemented in sim/domain.cc; without a live
+ * scheduler they compile down to one thread-local read.
+ */
+
+#ifndef SIM_EXEC_CONTEXT_HH
+#define SIM_EXEC_CONTEXT_HH
+
+#include <functional>
+
+#include "sim/types.hh"
+
+namespace siopmp {
+
+class EventQueue;
+class Rng;
+class Tickable;
+
+namespace simctx {
+
+/** True iff the calling thread is inside a concurrent tick phase. */
+bool inParallelPhase();
+
+/**
+ * Queue @p fn for the sequential end-of-cycle main section, ordered by
+ * the issuing component's registration order (ties by issue order).
+ * Returns false — leaving the caller to run @p fn inline — when the
+ * calling thread is not inside a parallel phase. Hot paths should
+ * guard with inParallelPhase() to keep the legacy loop allocation-free.
+ */
+bool deferShared(std::function<void()> fn);
+
+/**
+ * Stage an event-queue insertion (EventQueue::schedule/scheduleWake
+ * call it on every insert). Returns false when not in a parallel
+ * phase; otherwise the insertion lands in the main section, where the
+ * queue assigns tie-break sequence numbers in sequential order.
+ */
+bool deferEvent(EventQueue *queue, Cycle when, Tickable *wake,
+                std::function<void()> cb);
+
+/**
+ * Deterministic per-domain random stream of the currently executing
+ * tick domain; nullptr outside a parallel phase (callers fall back to
+ * their own Rng, as on the legacy loop).
+ */
+Rng *domainRng();
+
+} // namespace simctx
+} // namespace siopmp
+
+#endif // SIM_EXEC_CONTEXT_HH

@@ -8,9 +8,15 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "sim/domain.hh"
+#include "sim/exec_context.hh"
 #include "sim/logging.hh"
 
 namespace siopmp {
+
+Simulator::Simulator() : fast_forward_(defaultFastForward()) {}
+
+Simulator::~Simulator() = default;
 
 void
 Tickable::wakeSlow()
@@ -28,6 +34,16 @@ Simulator::defaultFastForward()
     return on;
 }
 
+bool
+Simulator::parallelAllowed()
+{
+    static const bool on = [] {
+        const char *env = std::getenv("SIOPMP_NO_PARALLEL");
+        return env == nullptr || env[0] == '\0' || env[0] == '0';
+    }();
+    return on;
+}
+
 void
 Simulator::add(Tickable *component)
 {
@@ -38,15 +54,50 @@ Simulator::add(Tickable *component)
     component->sim_ = this;
     component->active_ = true;
     component->wake_cycle_ = now_;
+    component->order_ = next_order_++;
     ++num_active_;
+    if (scheduler_)
+        scheduler_->markDirty();
 }
 
 void
-Simulator::remove(Tickable *component)
+Simulator::setDomain(Tickable *component, unsigned domain)
+{
+    SIOPMP_ASSERT(component != nullptr, "null component");
+    SIOPMP_ASSERT(domain < kMaxDomains, "domain index out of range");
+    component->domain_ = domain;
+    if (scheduler_)
+        scheduler_->markDirty();
+}
+
+void
+Simulator::setThreads(unsigned n)
+{
+    if (n == threads_)
+        return;
+    scheduler_.reset();
+    threads_ = 0;
+    if (n == 0 || !parallelAllowed())
+        return;
+    threads_ = n;
+    scheduler_ = std::make_unique<DomainScheduler>(*this, n);
+}
+
+void
+Simulator::setDomainRngSeed(std::uint64_t seed)
+{
+    if (scheduler_)
+        scheduler_->setRngSeed(seed);
+}
+
+void
+Simulator::removeNow(Tickable *component)
 {
     auto it = std::remove(components_.begin(), components_.end(), component);
     if (it == components_.end())
         return;
+    if (scheduler_)
+        scheduler_->onRemove(component);
     components_.erase(it, components_.end());
     if (component->active_)
         --num_active_;
@@ -55,10 +106,31 @@ Simulator::remove(Tickable *component)
 }
 
 void
+Simulator::remove(Tickable *component)
+{
+    // From a concurrent phase: land the removal in the main section,
+    // ordered with every other shared side effect of this cycle.
+    if (simctx::deferShared([this, component] { removeNow(component); }))
+        return;
+    // Mid-tick on the sequential loops (or in the parallel main
+    // section): defer to the end of the cycle — removing inline would
+    // invalidate the iterators of the loop that called us.
+    if (ticking_) {
+        pending_removes_.push_back(component);
+        return;
+    }
+    removeNow(component);
+}
+
+void
 Simulator::wake(Tickable *component)
 {
     if (component->sim_ != this)
         return;
+    if (scheduler_) {
+        scheduler_->wake(component);
+        return;
+    }
     component->wake_cycle_ = now_;
     if (!component->active_) {
         component->active_ = true;
@@ -70,6 +142,19 @@ void
 Simulator::tickOnce()
 {
     events_.runUntil(now_);
+    if (scheduler_) {
+        ticking_ = true;
+        scheduler_->runCycle(now_);
+        ticking_ = false;
+        if (!pending_removes_.empty()) {
+            for (auto *c : pending_removes_)
+                removeNow(c);
+            pending_removes_.clear();
+        }
+        ++now_;
+        return;
+    }
+    ticking_ = true;
     if (!fast_forward_) {
         // Naive reference loop: tick everything, never retire.
         for (auto *c : components_)
@@ -96,6 +181,12 @@ Simulator::tickOnce()
                 --num_active_;
             }
         }
+    }
+    ticking_ = false;
+    if (!pending_removes_.empty()) {
+        for (auto *c : pending_removes_)
+            removeNow(c);
+        pending_removes_.clear();
     }
     ++now_;
 }
@@ -177,7 +268,10 @@ Simulator::resetTime()
     for (auto *c : components_) {
         c->active_ = true;
         c->wake_cycle_ = 0;
+        c->pending_wake_.store(false, std::memory_order_relaxed);
     }
+    if (scheduler_)
+        scheduler_->markDirty();
 }
 
 } // namespace siopmp

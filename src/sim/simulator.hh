@@ -13,12 +13,21 @@
  * test.cc proves it on a mixed workload) — and can be disabled with
  * setFastForward(false) or the SIOPMP_NO_FAST_FORWARD=1 environment
  * variable as an escape hatch.
+ *
+ * Parallel scheduling: setThreads(n >= 1) swaps the cycle body for the
+ * sharded DomainScheduler (sim/domain.hh), which ticks per-topology
+ * tick domains on n threads with epoch barriers at the registered
+ * fifo boundaries. Results stay bit-identical to this sequential loop
+ * (tests/sim/parallel_differential_test.cc). Escape hatches:
+ * setThreads(0) and SIOPMP_NO_PARALLEL=1.
  */
 
 #ifndef SIM_SIMULATOR_HH
 #define SIM_SIMULATOR_HH
 
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -26,6 +35,8 @@
 #include "sim/types.hh"
 
 namespace siopmp {
+
+class DomainScheduler;
 
 /**
  * Cycle-driven simulator. Components are ticked in registration order;
@@ -35,13 +46,51 @@ namespace siopmp {
 class Simulator
 {
   public:
-    Simulator() : fast_forward_(defaultFastForward()) {}
+    Simulator();
+    ~Simulator();
+
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
 
     /** Register a component (not owned). Starts on the active set. */
     void add(Tickable *component);
 
-    /** Remove a previously added component. */
+    /**
+     * Remove a previously added component. Safe at any point: mid-tick
+     * removals (from an evaluate/advance body or an event handler) and
+     * removals from another tick domain under the parallel engine are
+     * deferred to the end of the current cycle.
+     */
     void remove(Tickable *component);
+
+    /**
+     * Assign @p component to tick domain @p domain (parallel engine;
+     * see sim/domain.hh). Components in the same domain always run on
+     * the same thread in registration order; components in different
+     * domains may run concurrently and must only communicate through
+     * registered fifos or deferred shared operations. No effect on the
+     * sequential loops beyond bookkeeping.
+     */
+    void setDomain(Tickable *component, unsigned domain);
+
+    /**
+     * Enable the sharded parallel engine with @p n threads (0 restores
+     * the sequential loop, the default). Ignored — sequential loop
+     * kept — when SIOPMP_NO_PARALLEL=1 is set in the environment.
+     */
+    void setThreads(unsigned n);
+
+    /** Worker threads of the parallel engine (0 = sequential loop). */
+    unsigned threads() const { return threads_; }
+
+    /** True iff the parallel engine is driving the cycle loop. */
+    bool parallel() const { return scheduler_ != nullptr; }
+
+    /** Seed for the deterministic per-domain random streams. */
+    void setDomainRngSeed(std::uint64_t seed);
+
+    /** Process-wide gate (false iff SIOPMP_NO_PARALLEL=1). */
+    static bool parallelAllowed();
 
     /**
      * Run a single cycle: events, evaluate-all, advance-all. Under
@@ -94,8 +143,13 @@ class Simulator
     static bool defaultFastForward();
 
   private:
+    friend class DomainScheduler;
+
     /** Execute exactly one cycle at now_ (no idle jump). */
     void tickOnce();
+
+    /** Immediate removal (caller guarantees no tick is in flight). */
+    void removeNow(Tickable *component);
 
     std::vector<Tickable *> components_;
     EventQueue events_;
@@ -103,6 +157,13 @@ class Simulator
     bool fast_forward_;
     std::size_t num_active_ = 0;
     Cycle idle_cycles_skipped_ = 0;
+
+    std::unique_ptr<DomainScheduler> scheduler_;
+    unsigned threads_ = 0;
+    std::uint32_t next_order_ = 0;
+    //! Guards against mutating components_ while tickOnce iterates it.
+    bool ticking_ = false;
+    std::vector<Tickable *> pending_removes_;
 };
 
 } // namespace siopmp

@@ -17,6 +17,7 @@
 #ifndef SIM_STATS_HH
 #define SIM_STATS_HH
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -28,20 +29,49 @@
 namespace siopmp {
 namespace stats {
 
-/** Monotonically increasing counter. */
+/**
+ * Monotonically increasing counter. Increments are atomic so counters
+ * shared across tick domains (e.g. a centralized IOPMP's check count)
+ * stay exact under the parallel engine; integer-valued sums are
+ * order-independent, so totals remain bit-identical to a sequential
+ * run. Reads (value()) are not synchronized against writers — callers
+ * read between cycles or after the run, as before.
+ */
 class Scalar
 {
   public:
     Scalar() = default;
 
-    Scalar &operator++() { ++value_; return *this; }
-    Scalar &operator+=(double v) { value_ += v; return *this; }
-    void set(double v) { value_ = v; }
-    double value() const { return value_; }
-    void reset() { value_ = 0.0; }
+    /** Detached copy (registry snapshots); no concurrent writers. */
+    Scalar(const Scalar &other)
+        : value_(other.value_.load(std::memory_order_relaxed)) {}
+    Scalar &
+    operator=(const Scalar &other)
+    {
+        value_.store(other.value_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+        return *this;
+    }
+
+    Scalar &operator++() { add(1.0); return *this; }
+    Scalar &operator+=(double v) { add(v); return *this; }
+    void set(double v) { value_.store(v, std::memory_order_relaxed); }
+    double value() const { return value_.load(std::memory_order_relaxed); }
+    void reset() { set(0.0); }
 
   private:
-    double value_ = 0.0;
+    void
+    add(double v)
+    {
+        // CAS loop: fetch_add on atomic<double> needs C++20 library
+        // support that not all toolchains ship.
+        double cur = value_.load(std::memory_order_relaxed);
+        while (!value_.compare_exchange_weak(cur, cur + v,
+                                             std::memory_order_relaxed)) {
+        }
+    }
+
+    std::atomic<double> value_{0.0};
 };
 
 /** Running average (mean of samples). */

@@ -30,12 +30,15 @@
 #ifndef SIM_TICKABLE_HH
 #define SIM_TICKABLE_HH
 
+#include <atomic>
+#include <cstdint>
 #include <string>
 
 #include "sim/types.hh"
 
 namespace siopmp {
 
+class DomainScheduler;
 class Simulator;
 
 /**
@@ -93,9 +96,14 @@ class Tickable
     /** True iff the component is on the simulator's active set. */
     bool active() const { return active_; }
 
+    /** Tick domain this component belongs to (parallel engine only;
+     * see sim/domain.hh). Set via Simulator::setDomain. */
+    unsigned domain() const { return domain_; }
+
     const std::string &name() const { return name_; }
 
   private:
+    friend class DomainScheduler;
     friend class Simulator;
 
     void wakeSlow();
@@ -103,6 +111,14 @@ class Tickable
     std::string name_;
     Simulator *sim_ = nullptr;
     bool active_ = false;
+    //! Tick domain affinity (default 0 = control domain).
+    unsigned domain_ = 0;
+    //! Registration order with the simulator; the parallel engine
+    //! replays deferred shared operations and merges trace buffers in
+    //! this order to reproduce the sequential schedule.
+    std::uint32_t order_ = 0;
+    //! Cross-domain wake request, committed at the next phase barrier.
+    std::atomic<bool> pending_wake_{false};
     //! Cycle of the last wake; guards retirement in the same cycle so
     //! a wake during the advance phase (whose cause is still invisible
     //! to quiescent(), e.g. a staged fifo push) is never lost.

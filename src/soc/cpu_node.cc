@@ -7,6 +7,7 @@
 
 #include <utility>
 
+#include "sim/exec_context.hh"
 #include "sim/logging.hh"
 
 namespace siopmp {
@@ -32,11 +33,31 @@ CpuNode::quiescent(Cycle) const
 void
 CpuNode::evaluate(Cycle now)
 {
+    // Firmware service mutates shared IOPMP state (CAM mounts, MMIO
+    // config writes, the block bitmap) that concurrent tick domains
+    // are reading: under the parallel engine the whole body — the
+    // pending-interrupt check included — runs in the end-of-cycle
+    // main section instead. The check must move with the body: a
+    // checker raising an interrupt this cycle does so as a deferred
+    // op, and only the replay (sorted by registration order, checker
+    // before CPU) reproduces the sequential same-cycle visibility.
+    if (simctx::inParallelPhase()) {
+        simctx::deferShared([this, now] {
+            if (now >= busy_until_ && monitor_->irqController().pending())
+                serviceNow(now);
+        });
+        return;
+    }
     if (now < busy_until_)
         return; // still inside the previous handler
     if (!monitor_->irqController().pending())
         return;
+    serviceNow(now);
+}
 
+void
+CpuNode::serviceNow(Cycle now)
+{
     const Cycle cost = monitor_->serviceInterrupts(now);
     ++serviced_;
     busy_until_ = now + cost;

@@ -32,6 +32,9 @@ class CpuNode : public Tickable
     std::uint64_t interruptsServiced() const { return serviced_; }
 
   private:
+    /** The actual interrupt-service work of evaluate(). */
+    void serviceNow(Cycle now);
+
     fw::SecureMonitor *monitor_;
     iopmp::SIopmp *unit_;
     Simulator *sim_;

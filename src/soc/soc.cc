@@ -105,6 +105,25 @@ Soc::Soc(const SocConfig &cfg)
     sim_.add(mem_node_.get());
     for (auto &node : error_nodes_)
         sim_.add(node.get());
+
+    // Tick-domain plan (see soc.hh header): the shared fabric is one
+    // domain; each per-device checker slice is its own. Every
+    // cross-domain edge is a registered bus::Link fifo, which the
+    // parallel engine's one-cycle epoch relies on.
+    sim_.setDomain(xbar_.get(), kFabricDomain);
+    sim_.setDomain(mem_node_.get(), kFabricDomain);
+    if (cfg.centralized_checker) {
+        sim_.setDomain(checkers_[0].get(), kFabricDomain);
+        sim_.setDomain(error_nodes_[0].get(), kFabricDomain);
+    } else {
+        for (unsigned i = 0; i < cfg.num_masters; ++i) {
+            sim_.setDomain(checkers_[i].get(), masterDomain(i));
+            sim_.setDomain(error_nodes_[i].get(), masterDomain(i));
+        }
+    }
+
+    if (cfg.sim_threads != 0)
+        sim_.setThreads(cfg.sim_threads);
 }
 
 bus::Link *

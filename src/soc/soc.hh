@@ -37,6 +37,32 @@ namespace soc {
 inline constexpr Addr kIopmpMmioBase = 0x1000'0000;
 
 /**
+ * Topology-driven tick-domain plan (parallel engine, sim/domain.hh):
+ *
+ *  - domain 0 (control): CPU node, firmware-driven components and
+ *    anything added through the generic add() — the conservative
+ *    default for components whose sharing pattern is unknown;
+ *  - domain 1 (fabric): xbar, memory controller, and under the
+ *    centralized topology the checker + error node (they sit behind
+ *    the xbar and share its traffic stream);
+ *  - domains 2+i (master slice i): per-device checker i, its error
+ *    node, and the device plugged into master port i (addDevice) —
+ *    the device talks to its checker through the master link every
+ *    cycle, so splitting them would buy nothing and cost a fifo
+ *    boundary; the slice <-> fabric crossing is a registered link
+ *    already, which is exactly the 1-cycle epoch boundary.
+ */
+inline constexpr unsigned kControlDomain = 0;
+inline constexpr unsigned kFabricDomain = 1;
+
+/** Tick domain of master-port slice @p i (device + its checker). */
+inline constexpr unsigned
+masterDomain(unsigned i)
+{
+    return 2 + i;
+}
+
+/**
  * Runtime-swappable checker configuration: microarchitecture, pipeline
  * depth and violation policy as one unit, validated together by
  * Soc::reconfigure (e.g. multi-stage pipelines require a pipelined
@@ -58,6 +84,9 @@ struct SocConfig {
     mem::MemoryTiming mem_timing;
     bool centralized_checker = false;
     Cycle mmio_access_cost = 2;
+    //! Worker threads for the sharded parallel engine (0 = sequential
+    //! loop; see Simulator::setThreads and sim/domain.hh).
+    unsigned sim_threads = 0;
 
     /** The checker knobs as a validatable unit. */
     CheckerConfig
@@ -83,8 +112,25 @@ class Soc
     /** Link a device plugs into for master port @p i. */
     bus::Link *masterLink(unsigned i);
 
-    /** Register a device (or any component) with the simulator. */
+    /** Register a device (or any component) with the simulator. Lands
+     * in the control domain; prefer addDevice() for DMA masters. */
     void add(Tickable *component) { sim_.add(component); }
+
+    /**
+     * Register the device plugged into master port @p port and assign
+     * it to that port's tick domain (same slice as its checker under
+     * the per-device topology), so the device/checker handshake stays
+     * thread-local under setThreads().
+     */
+    void
+    addDevice(Tickable *device, unsigned port)
+    {
+        sim_.add(device);
+        sim_.setDomain(device, masterDomain(port));
+    }
+
+    /** Enable the sharded parallel engine (see Simulator::setThreads). */
+    void setThreads(unsigned n) { sim_.setThreads(n); }
 
     /**
      * Swap the checker configuration between experiments, validating

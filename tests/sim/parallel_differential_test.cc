@@ -1,0 +1,468 @@
+/**
+ * @file
+ * Differential proof that the sharded parallel engine is semantics
+ * preserving: a saturated multi-device SoC workload — DMA bursts, NIC
+ * TX/RX, accelerator tiles, attack-driven violations, and a mid-run
+ * unmount/remount of a device's SID — is run once on the sequential
+ * reference loop and once per parallel thread count {1, 2, 4, 8}, and
+ * every observable must match bit-for-bit: cycle counts at each phase
+ * boundary, the full statistics dump, the violation record, device
+ * counters, and the complete trace event sequence (order included).
+ *
+ * Also covered here:
+ *  - determinism: two identical --threads 8 runs produce byte-identical
+ *    JSON statistics and trace streams;
+ *  - mid-epoch structural mutation: Simulator::remove() and wake()
+ *    issued from another tick domain's evaluate() phase are deferred to
+ *    the epoch boundary and land exactly where the sequential loop puts
+ *    them (regression for the cross-domain remove/wake race), plus the
+ *    legacy-loop mid-tick remove that used to mutate the component list
+ *    while tickOnce() iterated it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "devices/accelerator.hh"
+#include "devices/dma_engine.hh"
+#include "devices/malicious.hh"
+#include "devices/nic.hh"
+#include "sim/trace.hh"
+#include "soc/soc.hh"
+
+namespace siopmp {
+namespace soc {
+namespace {
+
+constexpr Addr kNicRegion = 0x8000'0000;
+constexpr Addr kAccelRegion = 0x8400'0000;
+constexpr Addr kDmaRegion = 0x8800'0000;
+constexpr Addr kRegionSize = 0x0100'0000;
+
+struct RunResult {
+    Cycle phase1_end = 0;
+    Cycle phase2_end = 0;
+    Cycle final_now = 0;
+    bool parallel = false;
+    std::string stats;
+    std::string stats_json;
+    std::string trace;
+    std::uint64_t trace_events = 0;
+
+    std::uint64_t tx_packets = 0;
+    std::uint64_t rx_packets = 0;
+    std::uint64_t rx_bytes = 0;
+    std::uint64_t accel_acc = 0;
+    std::uint64_t tiles = 0;
+    std::uint64_t dma_bytes = 0;
+    Cycle dma_done_at = 0;
+    std::uint64_t evil_leaked = 0;
+    std::uint64_t evil_denied = 0;
+    std::uint64_t evil_unflagged = 0;
+
+    bool has_violation = false;
+    Addr viol_addr = 0;
+    DeviceId viol_device = 0;
+    Cycle viol_when = 0;
+
+    std::uint64_t copied_word = 0;
+};
+
+SocConfig
+cfg()
+{
+    SocConfig c;
+    c.num_masters = 4;
+    c.checker_kind = iopmp::CheckerKind::PipelineTree;
+    c.checker_stages = 2;
+    return c;
+}
+
+dev::NicConfig
+nicCfg()
+{
+    dev::NicConfig c;
+    c.tx_ring = kNicRegion;
+    c.rx_ring = kNicRegion + 0x1000;
+    return c;
+}
+
+/**
+ * The saturated mixed workload, parameterized by worker thread count
+ * (0 = the sequential reference loop). Every device is plugged in via
+ * addDevice(), so each one lands in its master port's tick domain and
+ * all four slices plus the fabric run concurrently when threads > 1.
+ */
+RunResult
+runMixedWorkload(unsigned threads)
+{
+    Soc soc(cfg());
+    soc.setThreads(threads);
+
+    dev::Nic nic("nic0", 1, soc.masterLink(0), nicCfg());
+    dev::Accelerator accel("nvdla0", 2, soc.masterLink(1));
+    dev::DmaEngine dma("dma0", 3, soc.masterLink(2));
+    dev::MaliciousDevice evil("evil0", 4, soc.masterLink(3));
+    soc.addDevice(&nic, 0);
+    soc.addDevice(&accel, 1);
+    soc.addDevice(&dma, 2);
+    soc.addDevice(&evil, 3);
+
+    // Trace every event of the run; the sequence (and its order) is
+    // part of the differential comparison.
+    trace::RingBufferSink ring(1u << 18);
+    trace::tracer().setSink(&ring);
+
+    auto &unit = soc.iopmp();
+    for (MdIndex md = 0; md < unit.config().num_mds; ++md)
+        unit.mdcfg().setTop(md, std::min(16u, (md + 1) * 4));
+    const struct {
+        Sid sid;
+        DeviceId device;
+        Addr base;
+    } binds[] = {{0, 1, kNicRegion},
+                 {1, 2, kAccelRegion},
+                 {2, 3, kDmaRegion},
+                 {3, 4, 0x8c00'0000}};
+    for (const auto &bind : binds) {
+        unit.cam().set(bind.sid, bind.device);
+        unit.src2md().associate(bind.sid, bind.sid);
+        unit.entryTable().set(
+            bind.sid * 4,
+            iopmp::Entry::range(bind.base, kRegionSize, Perm::ReadWrite));
+    }
+
+    // ---- Phase 1: everyone active at once --------------------------------
+    for (unsigned i = 0; i < 2; ++i) {
+        soc.memory().write64(kNicRegion + i * 16, kNicRegion + 0x10000);
+        soc.memory().write64(kNicRegion + i * 16 + 8, 512);
+    }
+    nic.postTx(2);
+
+    dev::LayerJob layer;
+    layer.weights = kAccelRegion;
+    layer.inputs = kAccelRegion + 0x10'0000;
+    layer.outputs = kAccelRegion + 0x20'0000;
+    layer.tiles = 2;
+    layer.tile_bytes = 1024;
+    accel.start(layer, 0);
+
+    soc.memory().fill(kDmaRegion, 0x5a, 4096);
+    dev::DmaJob copy;
+    copy.kind = dev::DmaKind::Copy;
+    copy.src = kDmaRegion;
+    copy.dst = kDmaRegion + 0x10'0000;
+    copy.bytes = 4096;
+    copy.max_outstanding = 2;
+    dma.start(copy, 0);
+
+    dev::AttackPlan plan;
+    plan.kind = dev::AttackKind::ArbitraryScan;
+    plan.target_base = kNicRegion;
+    plan.target_size = 0x0c00'0000;
+    plan.probes = 24;
+    evil.startAttack(plan, 0);
+
+    // Mid-run unmount/remount of the DMA device's SID, driven from the
+    // event queue so it lands on the same cycle in every mode.
+    soc.sim().events().schedule(400, [&] { unit.cam().invalidate(3); });
+    soc.sim().events().schedule(2600, [&] {
+        unit.cam().set(2, 3);
+        unit.src2md().associate(2, 2);
+    });
+
+    soc.sim().runUntil(
+        [&] {
+            return nic.txPackets() == 2 && accel.done() && dma.done() &&
+                   evil.done();
+        },
+        3'000'000);
+    RunResult r;
+    r.phase1_end = soc.sim().now();
+    r.parallel = soc.sim().parallel();
+
+    // ---- Idle gap --------------------------------------------------------
+    soc.sim().run(50'000);
+
+    // ---- Phase 2: second wave after the quiet period ---------------------
+    for (unsigned i = 0; i < 2; ++i) {
+        soc.memory().write64(kNicRegion + 0x1000 + i * 16,
+                             kNicRegion + 0x20000 + i * 0x1000);
+        soc.memory().write64(kNicRegion + 0x1000 + i * 16 + 8, 0);
+    }
+    nic.postRx(2);
+    nic.injectRxPacket(256, 0x77);
+    nic.injectRxPacket(128, 0x33);
+
+    dev::DmaJob readback;
+    readback.kind = dev::DmaKind::Read;
+    readback.src = kDmaRegion + 0x10'0000;
+    readback.bytes = 2048;
+    readback.max_outstanding = 4;
+    dma.start(readback, soc.sim().now());
+
+    soc.sim().runUntil(
+        [&] { return nic.rxPackets() == 2 && dma.done(); }, 3'000'000);
+    r.phase2_end = soc.sim().now();
+
+    // ---- Idle tail -------------------------------------------------------
+    soc.sim().run(10'000);
+    r.final_now = soc.sim().now();
+
+    // Dump the trace while the components (whose names the events
+    // borrow) are still alive, then detach the sink.
+    trace::tracer().setSink(nullptr);
+    r.trace_events = ring.totalRecorded();
+    {
+        std::ostringstream os;
+        ring.dump(os);
+        r.trace = os.str();
+    }
+
+    {
+        std::ostringstream os;
+        stats::TextStatsWriter writer(os);
+        soc.accept(writer);
+        r.stats = os.str();
+    }
+    {
+        std::ostringstream os;
+        stats::JsonStatsWriter writer(os);
+        soc.accept(writer);
+        writer.finish();
+        r.stats_json = os.str();
+    }
+
+    r.tx_packets = nic.txPackets();
+    r.rx_packets = nic.rxPackets();
+    r.rx_bytes = nic.rxBytes();
+    r.accel_acc = accel.accumulator();
+    r.tiles = accel.tilesCompleted();
+    r.dma_bytes = dma.bytesTransferred();
+    r.dma_done_at = dma.completedAt();
+    r.evil_leaked = evil.leakedWords();
+    r.evil_denied = evil.deniedAttacks();
+    r.evil_unflagged = evil.unflaggedWrites();
+
+    if (auto v = unit.violationRecord()) {
+        r.has_violation = true;
+        r.viol_addr = v->addr;
+        r.viol_device = v->device;
+        r.viol_when = v->when;
+    }
+    r.copied_word = soc.memory().read64(kDmaRegion + 0x10'0000);
+    return r;
+}
+
+void
+expectIdentical(const RunResult &par, const RunResult &seq,
+                unsigned threads)
+{
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+
+    // Cycle-exact equivalence at every phase boundary.
+    EXPECT_EQ(par.phase1_end, seq.phase1_end);
+    EXPECT_EQ(par.phase2_end, seq.phase2_end);
+    EXPECT_EQ(par.final_now, seq.final_now);
+
+    // Per-node statistics are byte-identical.
+    EXPECT_EQ(par.stats, seq.stats);
+
+    // The trace event sequence — including its order — is identical.
+    EXPECT_EQ(par.trace_events, seq.trace_events);
+    EXPECT_EQ(par.trace, seq.trace);
+
+    // Device observables.
+    EXPECT_EQ(par.tx_packets, seq.tx_packets);
+    EXPECT_EQ(par.rx_packets, seq.rx_packets);
+    EXPECT_EQ(par.rx_bytes, seq.rx_bytes);
+    EXPECT_EQ(par.accel_acc, seq.accel_acc);
+    EXPECT_EQ(par.tiles, seq.tiles);
+    EXPECT_EQ(par.dma_bytes, seq.dma_bytes);
+    EXPECT_EQ(par.dma_done_at, seq.dma_done_at);
+    EXPECT_EQ(par.evil_leaked, seq.evil_leaked);
+    EXPECT_EQ(par.evil_denied, seq.evil_denied);
+    EXPECT_EQ(par.evil_unflagged, seq.evil_unflagged);
+
+    // Violation record (address, attribution, timestamp).
+    EXPECT_EQ(par.has_violation, seq.has_violation);
+    EXPECT_EQ(par.viol_addr, seq.viol_addr);
+    EXPECT_EQ(par.viol_device, seq.viol_device);
+    EXPECT_EQ(par.viol_when, seq.viol_when);
+
+    EXPECT_EQ(par.copied_word, seq.copied_word);
+}
+
+TEST(ParallelDifferential, MixedWorkloadBitIdenticalAcrossThreadCounts)
+{
+    const RunResult seq = runMixedWorkload(0);
+
+    // The reference run did real work.
+    EXPECT_FALSE(seq.parallel);
+    EXPECT_EQ(seq.tx_packets, 2u);
+    EXPECT_EQ(seq.rx_packets, 2u);
+    EXPECT_EQ(seq.tiles, 2u);
+    EXPECT_EQ(seq.copied_word, 0x5a5a'5a5a'5a5a'5a5aULL);
+    EXPECT_TRUE(seq.has_violation);
+    EXPECT_GT(seq.evil_denied, 0u);
+    EXPECT_EQ(seq.evil_leaked, 0u);
+    EXPECT_GT(seq.trace_events, 0u);
+
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+        const RunResult par = runMixedWorkload(threads);
+        // Unless SIOPMP_NO_PARALLEL vetoed it, the engine engaged.
+        EXPECT_EQ(par.parallel, Simulator::parallelAllowed());
+        expectIdentical(par, seq, threads);
+    }
+}
+
+TEST(ParallelDifferential, RepeatedRunsAreDeterministic)
+{
+    const RunResult a = runMixedWorkload(8);
+    const RunResult b = runMixedWorkload(8);
+    EXPECT_EQ(a.final_now, b.final_now);
+    EXPECT_EQ(a.stats_json, b.stats_json);
+    EXPECT_EQ(a.trace, b.trace);
+    EXPECT_EQ(a.trace_events, b.trace_events);
+}
+
+// ---------------------------------------------------------------------------
+// Mid-epoch structural mutation (cross-domain remove/wake) regressions.
+// ---------------------------------------------------------------------------
+
+/** Counts both phases; always quiescent once woken work is counted. */
+class CountingNode : public Tickable
+{
+  public:
+    CountingNode(std::string name, bool quiesce)
+        : Tickable(std::move(name)), quiesce_(quiesce)
+    {
+    }
+
+    void evaluate(Cycle) override { ++evals_; }
+    void advance(Cycle) override { ++advances_; }
+    bool quiescent(Cycle) const override { return quiesce_; }
+
+    std::uint64_t evals_ = 0;
+    std::uint64_t advances_ = 0;
+
+  private:
+    bool quiesce_;
+};
+
+/** Calls an arbitrary action from its evaluate() at one chosen cycle. */
+class MutatorNode : public Tickable
+{
+  public:
+    MutatorNode(std::string name, Cycle when, std::function<void()> action)
+        : Tickable(std::move(name)), when_(when), action_(std::move(action))
+    {
+    }
+
+    void
+    evaluate(Cycle now) override
+    {
+        if (now == when_)
+            action_();
+    }
+    void advance(Cycle) override {}
+
+  private:
+    Cycle when_;
+    std::function<void()> action_;
+};
+
+struct MutationResult {
+    std::uint64_t victim_evals = 0;
+    std::uint64_t victim_advances = 0;
+    std::uint64_t sleeper_evals = 0;
+    std::uint64_t sleeper_advances = 0;
+};
+
+/**
+ * One mutator (domain 1) removes a busy victim (domain 2) at cycle 6;
+ * another (domain 3) wakes a quiescent sleeper (domain 4) at cycle 10.
+ * Both calls are issued from inside the concurrent evaluate phase, so
+ * under the parallel engine they cross tick domains mid-epoch.
+ */
+MutationResult
+runMutationScenario(unsigned threads)
+{
+    Simulator sim;
+    CountingNode sleeper("sleeper", /*quiesce=*/true);
+    CountingNode victim("victim", /*quiesce=*/false);
+    MutatorNode remover("remover", 6, [&] { sim.remove(&victim); });
+    MutatorNode waker("waker", 10, [&] { sim.wake(&sleeper); });
+
+    // The sleeper registers before its waker: a same-cycle wake must
+    // not make it evaluate this cycle in either engine (the sequential
+    // loop has already passed it).
+    sim.add(&sleeper);
+    sim.add(&victim);
+    sim.add(&remover);
+    sim.add(&waker);
+    sim.setDomain(&sleeper, 4);
+    sim.setDomain(&victim, 2);
+    sim.setDomain(&remover, 1);
+    sim.setDomain(&waker, 3);
+    sim.setThreads(threads);
+
+    sim.run(20);
+
+    MutationResult r;
+    r.victim_evals = victim.evals_;
+    r.victim_advances = victim.advances_;
+    r.sleeper_evals = sleeper.evals_;
+    r.sleeper_advances = sleeper.advances_;
+    return r;
+}
+
+TEST(ParallelDifferential, CrossDomainRemoveAndWakeMatchSequential)
+{
+    const MutationResult seq = runMutationScenario(0);
+
+    // Sequential semantics: the victim still completes the cycle the
+    // removal was issued in (cycles 0..6 inclusive).
+    EXPECT_EQ(seq.victim_evals, 7u);
+    EXPECT_EQ(seq.victim_advances, 7u);
+    // The sleeper ticks cycles 0-1, retires, and the cycle-10 wake buys
+    // it a same-cycle advance plus a full cycle-11 tick.
+    EXPECT_EQ(seq.sleeper_evals, 3u);
+    EXPECT_EQ(seq.sleeper_advances, 4u);
+
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        const MutationResult par = runMutationScenario(threads);
+        EXPECT_EQ(par.victim_evals, seq.victim_evals);
+        EXPECT_EQ(par.victim_advances, seq.victim_advances);
+        EXPECT_EQ(par.sleeper_evals, seq.sleeper_evals);
+        EXPECT_EQ(par.sleeper_advances, seq.sleeper_advances);
+    }
+}
+
+TEST(ParallelDifferential, LegacyMidTickRemoveIsDeferred)
+{
+    // Regression: remove() from inside the naive loop's evaluate phase
+    // used to mutate components_ while tickOnce() iterated it. The
+    // victim registers after the remover, so an inline erase would
+    // have shifted the vector under the running loop.
+    Simulator sim;
+    sim.setFastForward(false);
+    CountingNode victim("victim", /*quiesce=*/false);
+    MutatorNode remover("remover", 3, [&] { sim.remove(&victim); });
+    sim.add(&remover);
+    sim.add(&victim);
+    sim.run(10);
+
+    // The victim completes the cycle of its removal, then stops.
+    EXPECT_EQ(victim.evals_, 4u);
+    EXPECT_EQ(victim.advances_, 4u);
+    EXPECT_EQ(sim.components(), 1u);
+}
+
+} // namespace
+} // namespace soc
+} // namespace siopmp

@@ -5,14 +5,19 @@
  * writing code:
  *
  *   siopmp-cli latency   [--stages N] [--policy be|mask] [--write]
- *                        [--violating] [--bursts N]
+ *                        [--violating] [--bursts N] [--threads N]
  *   siopmp-cli bandwidth [--scenario rr|rw|ww] [--stages N]
- *                        [--outstanding N]
+ *                        [--outstanding N] [--threads N]
  *   siopmp-cli network   [--tx] [--cores N] [--packets N]
  *   siopmp-cli memcached [--qps X] [--scheme none|siopmp|strict]
  *   siopmp-cli hotcold   [--ratio N] [--mismatched] [--bursts N]
+ *                        [--threads N]
  *   siopmp-cli freq      [--entries N] [--stages N] [--kind lin|tree]
  *                        [--arity N]
+ *
+ * --threads N runs the cycle-level workloads on the sharded parallel
+ * engine with N worker threads (0, the default, keeps the sequential
+ * loop). Results are bit-identical either way; see docs/SIMULATION.md.
  *
  * Observability flags, accepted by every command:
  *
@@ -99,6 +104,7 @@ cmdLatency(const Args &args)
     cfg.write = args.flag("--write");
     cfg.violating = args.flag("--violating");
     cfg.bursts = static_cast<unsigned>(args.number("--bursts", 64));
+    cfg.sim_threads = static_cast<unsigned>(args.number("--threads", 0));
     const Cycle cycles = wl::runBurstLatency(cfg);
     std::printf("latency: %llu cycles (%u bursts, %u stages, %s, %s%s)\n",
                 static_cast<unsigned long long>(cycles), cfg.bursts,
@@ -119,6 +125,7 @@ cmdBandwidth(const Args &args)
     cfg.stages = static_cast<unsigned>(args.number("--stages", 2));
     cfg.max_outstanding =
         static_cast<unsigned>(args.number("--outstanding", 8));
+    cfg.sim_threads = static_cast<unsigned>(args.number("--threads", 0));
     const double bpc = wl::runBandwidth(cfg);
     std::printf("bandwidth: %.2f bytes/cycle (%s, %u stages, %u "
                 "outstanding)\n",
@@ -169,6 +176,7 @@ cmdHotCold(const Args &args)
     cfg.matched = !args.flag("--mismatched");
     cfg.hot_bursts =
         static_cast<unsigned>(args.number("--bursts", 2000));
+    cfg.sim_threads = static_cast<unsigned>(args.number("--threads", 0));
     const auto result = wl::runHotCold(cfg);
     std::printf("hotcold 1:%u (%s): hot throughput %.1f%%, %llu SID "
                 "misses, switch cost %llu cycles\n",

@@ -8,14 +8,18 @@
  * Two modes:
  *
  *  - default: the classic google-benchmark BM_* suite over the
- *    UNCACHED checker walks (directly-constructed checkers never get
- *    the accelerator), guarding the baseline cost;
+ *    UNCACHED checker walks (AccelMode::Off is forced explicitly:
+ *    makeChecker applies the process-default acceleration mode, and
+ *    these benchmarks guard the baseline walk cost);
  *  - `--json OUT [--checks N]`: emit BENCH_checker.json — a saturated
  *    128-SID check stream replayed against every checker kind x entry
  *    count x {cache off, cache on}, reporting ns/check, simulated
  *    seconds per million cycles (one check per simulated beat cycle)
- *    and the on/off speedup. Schema is validated by tools/run_bench.sh
- *    and documented in docs/PERFORMANCE.md.
+ *    and the on/off speedup; plus a "churn" series where the entry
+ *    table is rewritten every N checks (mutation:check ratios 1:10,
+ *    1:100, 1:1000) under sparse per-SID MD bitmaps — the workload
+ *    per-MD incremental invalidation exists for. Schema is validated
+ *    by tools/run_bench.sh and documented in docs/PERFORMANCE.md.
  */
 
 #include <benchmark/benchmark.h>
@@ -61,6 +65,9 @@ runCheck(benchmark::State &state, MakeChecker make)
     const unsigned n = static_cast<unsigned>(state.range(0));
     Fixture fixture(n);
     auto checker = make(fixture);
+    // These benchmarks guard the raw walk cost; the accelerated path
+    // has its own series in --json mode.
+    checker->setAccelMode(AccelMode::Off);
     Rng rng(2);
     for (auto _ : state) {
         CheckRequest req;
@@ -154,7 +161,8 @@ runLeg(CheckerKind kind, unsigned stages, unsigned num_entries,
     Fixture fixture(num_entries);
     auto checker = makeChecker(kind, stages, fixture.entries,
                                fixture.mdcfg);
-    checker->setAccelEnabled(cache_on);
+    checker->setAccelMode(cache_on ? AccelMode::PlansAndCache
+                                   : AccelMode::Off);
     const SidStream stream(3);
 
     // Warm-up: page in the tables, compile the plans, fill the cache.
@@ -165,6 +173,101 @@ runLeg(CheckerKind kind, unsigned stages, unsigned num_entries,
     const auto start = std::chrono::steady_clock::now();
     for (std::uint64_t i = 0; i < checks; ++i)
         benchmark::DoNotOptimize(checker->check(stream.request(i)));
+    const auto stop = std::chrono::steady_clock::now();
+
+    LegResult result;
+    result.ns_per_check =
+        std::chrono::duration<double, std::nano>(stop - start).count() /
+        static_cast<double>(checks);
+    return result;
+}
+
+/**
+ * Churn-workload stream: like SidStream, but each SID's MD bitmap is
+ * sparse (2-3 of the 63 MDs). That is the realistic sharing shape —
+ * a device sees a few domains, not half the machine — and it is what
+ * makes per-MD invalidation pay: a mutation inside one MD's window
+ * leaves the plans and verdict-cache lines of disjoint bitmaps valid,
+ * where the old epoch scheme flushed everything.
+ */
+struct ChurnStream {
+    static constexpr unsigned kSids = 128;
+    static constexpr unsigned kAddrsPerSid = 16;
+
+    explicit ChurnStream(std::uint64_t seed)
+    {
+        Rng rng(seed);
+        bitmaps.reserve(kSids);
+        addrs.reserve(kSids * kAddrsPerSid);
+        for (unsigned s = 0; s < kSids; ++s) {
+            std::uint64_t bitmap = 0;
+            const unsigned nmds = 2 + static_cast<unsigned>(rng.below(2));
+            for (unsigned k = 0; k < nmds; ++k)
+                bitmap |= std::uint64_t{1} << rng.below(63);
+            bitmaps.push_back(bitmap);
+            for (unsigned a = 0; a < kAddrsPerSid; ++a)
+                addrs.push_back(rng.below(1 << 23) & ~Addr{7});
+        }
+    }
+
+    CheckRequest
+    request(std::uint64_t i) const
+    {
+        const unsigned sid = static_cast<unsigned>(i % kSids);
+        CheckRequest req;
+        req.addr = addrs[sid * kAddrsPerSid +
+                         static_cast<unsigned>((i / kSids) % kAddrsPerSid)];
+        req.len = 64;
+        req.perm = Perm::Read;
+        req.md_bitmap = bitmaps[sid];
+        return req;
+    }
+
+    std::vector<std::uint64_t> bitmaps;
+    std::vector<Addr> addrs;
+};
+
+/**
+ * Churn leg: the check stream interleaved with an entry rewrite every
+ * @p ratio checks (the monitor reprogramming rules under live
+ * traffic). The mutation stream is identical across acceleration
+ * modes, so off-vs-on replay the same work.
+ */
+LegResult
+runChurnLeg(CheckerKind kind, unsigned stages, unsigned num_entries,
+            bool accel_on, std::uint64_t checks, std::uint64_t ratio)
+{
+    Fixture fixture(num_entries);
+    auto checker = makeChecker(kind, stages, fixture.entries,
+                               fixture.mdcfg);
+    checker->setAccelMode(accel_on ? AccelMode::PlansAndCache
+                                   : AccelMode::Off);
+    const ChurnStream stream(7);
+    Rng mutate_rng(11);
+
+    auto mutate = [&] {
+        const unsigned idx =
+            static_cast<unsigned>(mutate_rng.below(num_entries));
+        fixture.entries.set(idx,
+                            Entry::range(mutate_rng.below(1 << 20) * 8,
+                                         (1 + mutate_rng.below(256)) * 8,
+                                         Perm::ReadWrite),
+                            /*machine_mode=*/true);
+    };
+
+    const std::uint64_t warmup = checks / 8 + 1;
+    for (std::uint64_t i = 0; i < warmup; ++i) {
+        if (i % ratio == ratio - 1)
+            mutate();
+        benchmark::DoNotOptimize(checker->check(stream.request(i)));
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < checks; ++i) {
+        if (i % ratio == ratio - 1)
+            mutate();
+        benchmark::DoNotOptimize(checker->check(stream.request(i)));
+    }
     const auto stop = std::chrono::steady_clock::now();
 
     LegResult result;
@@ -238,6 +341,47 @@ jsonMain(const char *path, std::uint64_t checks)
                          on.ns_per_check, speedup);
         }
     }
+    std::fprintf(out, "\n  ],\n  \"churn\": [\n");
+
+    // Churn series: 1024-entry tables, sparse MD bitmaps, mutation
+    // every {10, 100, 1000} checks. The 1:100 point is the headline
+    // ratio gated by tools/run_bench.sh.
+    static constexpr std::uint64_t kRatios[] = {10, 100, 1000};
+    first = true;
+    for (const KindSpec &spec : kKinds) {
+        for (std::uint64_t ratio : kRatios) {
+            const LegResult off =
+                runChurnLeg(spec.kind, spec.stages, 1024, false, checks,
+                            ratio);
+            const LegResult on =
+                runChurnLeg(spec.kind, spec.stages, 1024, true, checks,
+                            ratio);
+            const double speedup =
+                on.ns_per_check > 0.0
+                    ? off.ns_per_check / on.ns_per_check
+                    : 0.0;
+            for (int accel = 0; accel < 2; ++accel) {
+                const LegResult &leg = accel ? on : off;
+                std::fprintf(
+                    out,
+                    "%s    {\"kind\": \"%s\", \"entries\": 1024, "
+                    "\"ratio\": %llu, \"accel\": \"%s\", "
+                    "\"ns_per_check\": %.3f, \"speedup\": %.3f}",
+                    first ? "" : ",\n", spec.name,
+                    static_cast<unsigned long long>(ratio),
+                    accel ? "plans+cache" : "off", leg.ns_per_check,
+                    accel ? speedup : 1.0);
+                first = false;
+            }
+            std::fprintf(stderr,
+                         "checker_micro: churn %s ratio=1:%llu "
+                         "off=%.1fns on=%.1fns speedup=%.2fx\n",
+                         spec.name,
+                         static_cast<unsigned long long>(ratio),
+                         off.ns_per_check, on.ns_per_check, speedup);
+        }
+    }
+
     std::fprintf(out, "\n  ]\n}\n");
     std::fclose(out);
     return 0;

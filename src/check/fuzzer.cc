@@ -140,6 +140,29 @@ pickEntryCfg(Rng &rng)
            (rng.chance(0.15) ? 0x80 : 0x0);
 }
 
+/**
+ * Cumulative op-mix thresholds (out of 100) for one FuzzProfile; a
+ * draw r lands in the first bucket whose threshold exceeds it, and
+ * everything past `read` is a DMA check.
+ */
+struct OpMix {
+    unsigned entry;  //!< entry programming (usually a 3-write triple)
+    unsigned src2md; //!< SRC2MD row rewrite
+    unsigned mdcfg;  //!< MDCFG top move
+    unsigned cam;    //!< CAM bind/invalidate
+    unsigned esid;   //!< eSID mount/unmount
+    unsigned block;  //!< block-bitmap word
+    unsigned ack;    //!< violation ack / reject-counter clear
+    unsigned read;   //!< register read-back compare
+};
+
+constexpr OpMix kDefaultMix = {40, 54, 62, 71, 75, 81, 84, 91};
+
+/** Churn: invalidation-relevant mutations (entry commits, MDCFG top
+ * moves) dominate, interleaved with ~25% checks, so every check runs
+ * against freshly-dirtied plans and verdict-cache lines. */
+constexpr OpMix kChurnMix = {35, 43, 58, 64, 66, 68, 70, 75};
+
 /** Decode a register offset for replayable trace printouts. Uses only
  * the fixed region layout, so no sizing context is needed. */
 std::string
@@ -228,12 +251,14 @@ DifferentialFuzzer::generateCase(unsigned case_index) const
     Rng rng(seed_ + 0x9e3779b97f4a7c15ULL * (case_index + 1));
 
     const unsigned block_words = (cfg_.num_sids + 63) / 64;
+    const OpMix &mix =
+        cfg_.profile == FuzzProfile::Churn ? kChurnMix : kDefaultMix;
     std::vector<FuzzOp> ops;
     ops.reserve(cfg_.ops_per_case + 2);
 
     while (ops.size() < cfg_.ops_per_case) {
         const std::uint64_t r = rng.below(100);
-        if (r < 40) {
+        if (r < mix.entry) {
             // Entry programming. Usually the full base/size/cfg triple
             // so commits see fresh staging; sometimes a lone word so
             // stale/zero staging and overwrites get exercised too.
@@ -252,7 +277,7 @@ DifferentialFuzzer::generateCase(unsigned case_index) const
                                                 : pickEntryCfg(rng);
                 ops.push_back(writeOp(ebase + word * 8, value));
             }
-        } else if (r < 54) {
+        } else if (r < mix.src2md) {
             // SRC2MD row: mostly valid MD bitmaps, sometimes garbage
             // high bits (rejected; must also skip the lock).
             const std::uint64_t sid = rng.below(cfg_.num_sids);
@@ -266,7 +291,7 @@ DifferentialFuzzer::generateCase(unsigned case_index) const
             if (rng.chance(0.08))
                 bitmap |= kBit63; // sticky lock
             ops.push_back(writeOp(kSrc2MdBase + sid * 8, bitmap));
-        } else if (r < 62) {
+        } else if (r < mix.mdcfg) {
             // MDCFG top. Mostly in range; sometimes beyond the entry
             // count or with high bits (32-bit truncation semantics).
             const std::uint64_t md = rng.below(cfg_.num_mds);
@@ -276,18 +301,18 @@ DifferentialFuzzer::generateCase(unsigned case_index) const
             if (rng.chance(0.1))
                 top |= rng.next() << 32;
             ops.push_back(writeOp(kMdCfgBase + md * 8, top));
-        } else if (r < 71) {
+        } else if (r < mix.cam) {
             // CAM bind/invalidate.
             const std::uint64_t row = rng.below(cfg_.num_sids - 1);
             const std::uint64_t value =
                 rng.chance(0.85) ? (kBit63 | pickDevice(rng)) : 0;
             ops.push_back(writeOp(kCamBase + row * 8, value));
-        } else if (r < 75) {
+        } else if (r < mix.esid) {
             // eSID mount/unmount.
             const std::uint64_t value =
                 rng.chance(0.75) ? (kBit63 | pickDevice(rng)) : 0;
             ops.push_back(writeOp(kEsid, value));
-        } else if (r < 81) {
+        } else if (r < mix.block) {
             // Block bitmap word: single bits, random masks, clears.
             const std::uint64_t word = rng.below(block_words);
             std::uint64_t value = std::uint64_t{1} << rng.below(64);
@@ -296,12 +321,12 @@ DifferentialFuzzer::generateCase(unsigned case_index) const
             else if (rng.chance(0.2))
                 value = 0;
             ops.push_back(writeOp(kBlockBase + word * 8, value));
-        } else if (r < 84) {
+        } else if (r < mix.ack) {
             // Violation acknowledge / reject-counter clear.
             ops.push_back(writeOp(rng.chance(0.5) ? kErrInfo
                                                   : kWriteRejects,
                                   0));
-        } else if (r < 91) {
+        } else if (r < mix.read) {
             // Register read-back compare.
             Addr offset = 0;
             switch (rng.below(8)) {
@@ -384,6 +409,137 @@ readDetail(const FuzzOp &op, std::uint64_t dut, std::uint64_t oracle)
     return buf;
 }
 
+/**
+ * Audits the TableListener dirty-set contract against the DUT's live
+ * tables. Keeps a mirror of every entry's verdict-relevant fields and
+ * of every entry's owning MD; collects the dirty ranges / MD masks
+ * reported through the listener callbacks; and after each write op
+ * diffs the live tables against the mirror — a change the callbacks
+ * did not cover means a consumer like CheckAccel would have kept
+ * stale derived state, which is a divergence even if no check has
+ * tripped over it yet.
+ */
+class TableAuditor final : public iopmp::TableListener
+{
+  public:
+    TableAuditor(const iopmp::EntryTable &entries,
+                 const iopmp::MdCfgTable &mdcfg)
+        : entries_(entries), mdcfg_(mdcfg)
+    {
+        const unsigned n = entries_.size();
+        entry_mirror_.reserve(n);
+        owner_mirror_.reserve(n);
+        for (unsigned j = 0; j < n; ++j) {
+            entry_mirror_.push_back(entries_.get(j));
+            owner_mirror_.push_back(mdcfg_.mdOfEntry(j));
+        }
+        entries_.addListener(this);
+        mdcfg_.addListener(this);
+    }
+
+    ~TableAuditor() override
+    {
+        entries_.removeListener(this);
+        mdcfg_.removeListener(this);
+    }
+
+    TableAuditor(const TableAuditor &) = delete;
+    TableAuditor &operator=(const TableAuditor &) = delete;
+
+    void
+    onEntriesChanged(unsigned lo, unsigned hi) override
+    {
+        entry_ranges_.push_back({lo, hi});
+    }
+
+    void
+    onMdWindowsChanged(std::uint64_t md_mask, unsigned lo,
+                       unsigned hi) override
+    {
+        md_mask_ |= md_mask;
+        window_ranges_.push_back({lo, hi});
+    }
+
+    void onTableReset() override { reset_ = true; }
+
+    /**
+     * Diff the live tables against the mirror, then resync and clear
+     * the collected dirty sets. Returns a description of the first
+     * unreported change, or an empty string when the contract held.
+     */
+    std::string
+    auditAndSync()
+    {
+        std::string error;
+        const unsigned n = entries_.size();
+        for (unsigned j = 0; j < n && error.empty(); ++j) {
+            const iopmp::Entry &live = entries_.get(j);
+            const iopmp::Entry &old = entry_mirror_[j];
+            // Lock-bit-only changes are deliberately unreported.
+            const bool value_changed =
+                live.mode() != old.mode() || live.base() != old.base() ||
+                live.size() != old.size() || live.perm() != old.perm();
+            if (value_changed && !reset_ && !covered(entry_ranges_, j)) {
+                error = "listener audit: entry " + std::to_string(j) +
+                        " changed without a covering onEntriesChanged";
+                break;
+            }
+            const int owner = mdcfg_.mdOfEntry(j);
+            if (owner != owner_mirror_[j] && !reset_) {
+                const bool mds_reported =
+                    mdReported(owner) && mdReported(owner_mirror_[j]);
+                if (!covered(window_ranges_, j) || !mds_reported) {
+                    error = "listener audit: entry " + std::to_string(j) +
+                            " moved MD " +
+                            std::to_string(owner_mirror_[j]) + " -> " +
+                            std::to_string(owner) +
+                            " without a covering onMdWindowsChanged";
+                }
+            }
+        }
+        for (unsigned j = 0; j < n; ++j) {
+            entry_mirror_[j] = entries_.get(j);
+            owner_mirror_[j] = mdcfg_.mdOfEntry(j);
+        }
+        entry_ranges_.clear();
+        window_ranges_.clear();
+        md_mask_ = 0;
+        reset_ = false;
+        return error;
+    }
+
+  private:
+    struct Range {
+        unsigned lo, hi;
+    };
+
+    static bool
+    covered(const std::vector<Range> &ranges, unsigned j)
+    {
+        for (const Range &r : ranges) {
+            if (j >= r.lo && j < r.hi)
+                return true;
+        }
+        return false;
+    }
+
+    /** -1 (unowned side of a move) needs no MD bit. */
+    bool
+    mdReported(int md) const
+    {
+        return md < 0 || ((md_mask_ >> md) & 1) != 0;
+    }
+
+    const iopmp::EntryTable &entries_;
+    const iopmp::MdCfgTable &mdcfg_;
+    std::vector<iopmp::Entry> entry_mirror_;
+    std::vector<int> owner_mirror_;
+    std::vector<Range> entry_ranges_;
+    std::vector<Range> window_ranges_;
+    std::uint64_t md_mask_ = 0;
+    bool reset_ = false;
+};
+
 } // namespace
 
 std::optional<Divergence>
@@ -402,9 +558,10 @@ DifferentialFuzzer::replay(const std::vector<FuzzOp> &ops, bool emit_trace)
     icfg.num_sids = cfg_.num_sids;
     icfg.num_mds = cfg_.num_mds;
     iopmp::SIopmp dut(icfg, cfg_.kind, cfg_.stages);
-    if (cfg_.accel != AccelMode::Default)
-        dut.setCheckCache(cfg_.accel == AccelMode::On);
+    if (cfg_.accel)
+        dut.setAccelMode(*cfg_.accel);
     ReferenceOracle oracle(cfg_.num_entries, cfg_.num_sids, cfg_.num_mds);
+    TableAuditor auditor(dut.entryTable(), dut.mdcfg());
 
     std::optional<Divergence> divergence;
     for (std::size_t i = 0; i < ops.size() && !divergence; ++i) {
@@ -414,6 +571,8 @@ DifferentialFuzzer::replay(const std::vector<FuzzOp> &ops, bool emit_trace)
             if (!hook_ || !hook_(dut, op))
                 dut.mmioWrite(op.offset, op.value);
             oracle.writeReg(op.offset, op.value);
+            if (std::string audit = auditor.auditAndSync(); !audit.empty())
+                divergence = Divergence{i, op.toString() + ": " + audit};
             if (emit_trace && trace::on()) {
                 trace::Event event;
                 event.when = i;

@@ -22,6 +22,16 @@
  * (e.g. the MMIO lock bypass or the >64-SID blocking hole) and prove
  * the fuzzer still catches them — the in-tree guarantee that future
  * checker or remapping changes get differential coverage for free.
+ *
+ * Beyond verdicts and read-backs, every replay also audits the
+ * TableListener dirty-set contract (tables.hh): a listener registered
+ * on the DUT's tables accumulates the reported dirty entry ranges and
+ * MD sets, and after every write op the live tables are diffed
+ * against a mirror — any entry value or MD ownership change not
+ * covered by a callback is a divergence. The incremental-invalidation
+ * machinery in CheckAccel is exactly as sound as this contract, so
+ * the fuzzer exercises it under the same op streams that stress the
+ * checker itself (see FuzzProfile::Churn for the mutation-heavy mix).
  */
 
 #ifndef CHECK_FUZZER_HH
@@ -57,12 +67,17 @@ struct FuzzOp {
     std::string toString() const;
 };
 
-/** Check-path accelerator policy for the DUT under fuzz. */
-enum class AccelMode {
-    Default, //!< whatever SIOPMP_NO_CHECK_CACHE says (usually on)
-    On,      //!< force the verdict cache + match plans on
-    Off,     //!< force the pure microarchitectural walk
-};
+/**
+ * Op-mix profile for generated cases.
+ *
+ * Default leans toward a realistic boot-then-run mix (mostly
+ * programming early, checks throughout). Churn models a monitor that
+ * reprograms tables continuously at a high rate relative to traffic —
+ * the regime the accelerator's per-MD incremental invalidation
+ * exists for — so entry commits and MDCFG top moves dominate, with
+ * checks interleaved to catch any stale plan or verdict-cache line.
+ */
+enum class FuzzProfile : std::uint8_t { Default, Churn };
 
 /** Per-case shape: architecture sizing + checker flavour + op count. */
 struct FuzzCaseConfig {
@@ -72,7 +87,10 @@ struct FuzzCaseConfig {
     iopmp::CheckerKind kind = iopmp::CheckerKind::Linear;
     unsigned stages = 1;
     unsigned ops_per_case = 96;
-    AccelMode accel = AccelMode::Default;
+    //! Acceleration mode forced onto the DUT; nullopt keeps the
+    //! process default (CheckAccel::defaultMode()).
+    std::optional<iopmp::AccelMode> accel;
+    FuzzProfile profile = FuzzProfile::Default;
 };
 
 /** First point where DUT and oracle disagreed. */

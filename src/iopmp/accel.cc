@@ -1,7 +1,8 @@
 /**
  * @file
  * CheckAccel implementation: plan compilation (boundary flattening +
- * sparse-table RMQ), the accelerated check path and the epoch logic.
+ * sparse-table RMQ), the accelerated check path and the listener-
+ * driven incremental invalidation logic.
  */
 
 #include "iopmp/accel.hh"
@@ -40,61 +41,213 @@ mix(std::uint64_t x)
     return x;
 }
 
+/** Process-wide programmatic override of the default mode (CLIs). */
+std::optional<AccelMode> default_mode_override;
+
 } // namespace
+
+const char *
+accelModeName(AccelMode mode)
+{
+    switch (mode) {
+      case AccelMode::Off: return "off";
+      case AccelMode::Plans: return "plans";
+      case AccelMode::PlansAndCache: return "plans+cache";
+    }
+    return "?";
+}
+
+bool
+parseAccelMode(const std::string &text, AccelMode *out)
+{
+    if (text == "off") {
+        *out = AccelMode::Off;
+        return true;
+    }
+    if (text == "plans") {
+        *out = AccelMode::Plans;
+        return true;
+    }
+    if (text == "plans+cache" || text == "plans_and_cache") {
+        *out = AccelMode::PlansAndCache;
+        return true;
+    }
+    return false;
+}
+
+AccelMode
+CheckAccel::defaultMode()
+{
+    if (default_mode_override)
+        return *default_mode_override;
+    if (const char *env = std::getenv("SIOPMP_ACCEL_MODE")) {
+        AccelMode mode;
+        if (env[0] != '\0' && parseAccelMode(env, &mode))
+            return mode;
+        // Unparseable value: fall through to the legacy spelling
+        // rather than silently disabling the layer.
+    }
+    const char *legacy = std::getenv("SIOPMP_NO_CHECK_CACHE");
+    if (legacy != nullptr && legacy[0] != '\0' && legacy[0] != '0')
+        return AccelMode::Off;
+    return AccelMode::PlansAndCache;
+}
+
+void
+CheckAccel::setDefaultMode(std::optional<AccelMode> mode)
+{
+    default_mode_override = mode;
+}
 
 bool
 CheckAccel::defaultEnabled()
 {
-    const char *env = std::getenv("SIOPMP_NO_CHECK_CACHE");
-    return env == nullptr || env[0] == '\0' || env[0] == '0';
+    return defaultMode() != AccelMode::Off;
 }
 
 CheckAccel::CheckAccel(const EntryTable &entries, const MdCfgTable &mdcfg,
-                       std::string group_name)
+                       std::string group_name, AccelMode mode)
     : entries_(entries),
       mdcfg_(mdcfg),
+      mode_(mode),
+      md_salts_(mdcfg.numMds(), 0),
       lines_(kCacheLines),
       stats_(std::move(group_name))
 {
+    SIOPMP_ASSERT(mode_ != AccelMode::Off,
+                  "AccelMode::Off is modelled by not constructing a "
+                  "CheckAccel (CheckerLogic::setAccelMode)");
     // The counters sit on the per-check hot path: resolve the name ->
     // Scalar map lookups once here instead of per event.
     hits_ = &stats_.scalar("check_cache_hits");
     misses_ = &stats_.scalar("check_cache_misses");
-    flushes_ = &stats_.scalar("check_cache_flushes");
+    full_flushes_ = &stats_.scalar("full_flushes");
+    partial_flushes_ = &stats_.scalar("partial_flushes");
     compiles_ = &stats_.scalar("plan_compiles");
-    invalidations_ = &stats_.scalar("plan_invalidations");
-    seen_entry_gen_ = entries_.generation();
-    seen_md_gen_ = mdcfg_.generation();
+    recompiles_ = &stats_.scalar("plan_recompiles");
+    stale_gauge_ = &stats_.scalar("stale_plans");
+    entries_.addListener(this);
+    mdcfg_.addListener(this);
+}
+
+CheckAccel::~CheckAccel()
+{
+    entries_.removeListener(this);
+    mdcfg_.removeListener(this);
 }
 
 void
-CheckAccel::observeEpoch(Cycle now)
+CheckAccel::setMode(AccelMode mode)
 {
-    const std::uint64_t egen = entries_.generation();
-    const std::uint64_t mgen = mdcfg_.generation();
-    if (egen == seen_entry_gen_ && mgen == seen_md_gen_)
+    SIOPMP_ASSERT(mode != AccelMode::Off,
+                  "AccelMode::Off is modelled by destroying the "
+                  "CheckAccel (CheckerLogic::setAccelMode)");
+    // Lines written before a Plans interlude revalidate through their
+    // salt: it only hits if no MD of its bitmap changed meanwhile.
+    mode_ = mode;
+}
+
+void
+CheckAccel::onEntriesChanged(unsigned lo, unsigned hi)
+{
+    // Map the rewritten entry range to the MDs that currently own it;
+    // entries outside every MD window are invisible to all plans.
+    // (Past owners need no handling here: losing or gaining entries is
+    // an MDCFG event, reported by onMdWindowsChanged at the time the
+    // window moved.)
+    invalidateMds(mdcfg_.ownersOf(lo, hi));
+}
+
+void
+CheckAccel::onMdWindowsChanged(std::uint64_t md_mask, unsigned, unsigned)
+{
+    invalidateMds(md_mask);
+}
+
+void
+CheckAccel::onTableReset()
+{
+    fullFlush();
+}
+
+void
+CheckAccel::invalidateMds(std::uint64_t md_mask)
+{
+    if (md_mask == 0)
         return;
-    seen_entry_gen_ = egen;
-    seen_md_gen_ = mgen;
-    ++salt_; // every cache line dies at once, O(1)
-    ++*flushes_;
+    for (std::uint64_t rest = md_mask; rest != 0; rest &= rest - 1) {
+        const unsigned md =
+            static_cast<unsigned>(__builtin_ctzll(rest));
+        if (md < md_salts_.size())
+            ++md_salts_[md];
+    }
+    for (auto &pair : plans_) {
+        Plan &plan = pair.second;
+        if ((plan.md_bitmap & md_mask) != 0 && !plan.dirty) {
+            plan.dirty = true;
+            // !dirty implies compiled (fresh plans start dirty), so
+            // this is exactly the compiled-and-now-stale transition.
+            ++stale_plans_count_;
+        }
+    }
+    ++*partial_flushes_;
+    stale_gauge_->set(static_cast<double>(stale_plans_count_));
     if (trace::on()) {
         trace::Event event;
-        event.when = now;
+        event.when = last_seen_now_;
         event.phase = trace::Phase::Instant;
         event.track = "check_accel";
         event.category = "checker";
-        event.name = "cache_flush";
-        event.arg0 = egen;
-        event.arg1 = mgen;
+        event.name = "partial_flush";
+        event.arg0 = md_mask;
+        event.arg1 = stale_plans_count_;
         trace::emit(event);
     }
+}
+
+void
+CheckAccel::fullFlush()
+{
+    ++global_salt_; // every line of every bitmap dies at once
+    for (auto &pair : plans_) {
+        Plan &plan = pair.second;
+        if (!plan.dirty) {
+            plan.dirty = true;
+            ++stale_plans_count_;
+        }
+    }
+    ++*full_flushes_;
+    stale_gauge_->set(static_cast<double>(stale_plans_count_));
+    if (trace::on()) {
+        trace::Event event;
+        event.when = last_seen_now_;
+        event.phase = trace::Phase::Instant;
+        event.track = "check_accel";
+        event.category = "checker";
+        event.name = "full_flush";
+        event.arg0 = global_salt_;
+        event.arg1 = stale_plans_count_;
+        trace::emit(event);
+    }
+}
+
+std::uint64_t
+CheckAccel::saltFor(std::uint64_t md_bitmap) const
+{
+    std::uint64_t salt = global_salt_;
+    for (std::uint64_t rest = md_bitmap; rest != 0; rest &= rest - 1) {
+        const unsigned md =
+            static_cast<unsigned>(__builtin_ctzll(rest));
+        if (md < md_salts_.size())
+            salt += md_salts_[md];
+    }
+    return salt;
 }
 
 CheckResult
 CheckAccel::check(const CheckRequest &req)
 {
-    observeEpoch(req.now);
+    last_seen_now_ = req.now;
 
     // A zero-length burst never matches nor overlaps any entry
     // (Entry::matches/overlaps both reject len == 0), so the reference
@@ -102,12 +255,20 @@ CheckAccel::check(const CheckRequest &req)
     if (req.len == 0)
         return {};
 
+    // Plan first: its salt is the validity token the cache line must
+    // match, precomputed at compile time so a hit costs no per-MD
+    // salt walk.
+    Plan &plan = planFor(req.md_bitmap, req.now);
+
+    if (mode_ != AccelMode::PlansAndCache)
+        return planCheck(plan, req);
+
     const std::size_t way =
         mix(req.addr * 0x9e3779b97f4a7c15ULL ^ req.md_bitmap ^
             (req.len << 2) ^ static_cast<std::uint64_t>(req.perm)) &
         (kCacheLines - 1);
     Line &line = lines_[way];
-    if (line.salt == salt_ && line.md_bitmap == req.md_bitmap &&
+    if (line.salt == plan.salt && line.md_bitmap == req.md_bitmap &&
         line.addr == req.addr && line.len == req.len &&
         line.perm == req.perm) {
         ++*hits_;
@@ -119,10 +280,9 @@ CheckAccel::check(const CheckRequest &req)
     }
     ++*misses_;
 
-    const CheckResult result =
-        planCheck(planFor(req.md_bitmap, req.now), req);
+    const CheckResult result = planCheck(plan, req);
 
-    line.salt = salt_;
+    line.salt = plan.salt;
     line.md_bitmap = req.md_bitmap;
     line.addr = req.addr;
     line.len = req.len;
@@ -136,29 +296,40 @@ CheckAccel::check(const CheckRequest &req)
 CheckAccel::Plan &
 CheckAccel::planFor(std::uint64_t md_bitmap, Cycle now)
 {
-    Plan *plan = last_plan_;
+    Plan *&slot = plan_index_[mix(md_bitmap) & (kPlanIndexSlots - 1)];
+    Plan *plan = slot;
     if (plan == nullptr || plan->md_bitmap != md_bitmap) {
         plan = &plans_[md_bitmap];
-        // unordered_map never moves values on rehash, so the MRU
-        // pointer stays valid while new bitmaps are inserted.
-        last_plan_ = plan;
+        plan->md_bitmap = md_bitmap;
+        // unordered_map never moves values on rehash, so indexed
+        // pointers stay valid while new bitmaps are inserted.
+        slot = plan;
     }
-    if (plan->entry_gen != seen_entry_gen_ ||
-        plan->md_gen != seen_md_gen_) {
-        if (plan->entry_gen != 0)
-            ++*invalidations_; // existing plan went stale
+    if (plan->dirty) {
+        const bool recompile = plan->compiled;
         compile(*plan, md_bitmap);
-        ++*compiles_;
+        plan->salt = saltFor(md_bitmap);
+        plan->compiled = true;
+        plan->dirty = false;
+        if (recompile) {
+            ++*recompiles_;
+            SIOPMP_ASSERT(stale_plans_count_ > 0,
+                          "stale-plan accounting underflow");
+            --stale_plans_count_;
+            stale_gauge_->set(static_cast<double>(stale_plans_count_));
+        } else {
+            ++*compiles_;
+        }
         if (trace::on()) {
             trace::Event event;
             event.when = now;
             event.phase = trace::Phase::Instant;
             event.track = "check_accel";
             event.category = "checker";
-            event.name = "plan_compile";
+            event.name = recompile ? "plan_recompile" : "plan_compile";
             event.id = md_bitmap;
-            event.arg0 = seen_entry_gen_;
-            event.arg1 = seen_md_gen_;
+            event.arg0 = plan->salt;
+            event.arg1 = stale_plans_count_;
             trace::emit(event);
         }
     }
@@ -169,8 +340,6 @@ void
 CheckAccel::compile(Plan &plan, std::uint64_t md_bitmap) const
 {
     plan.md_bitmap = md_bitmap;
-    plan.entry_gen = seen_entry_gen_;
-    plan.md_gen = seen_md_gen_;
     plan.starts.clear();
     plan.min_entry.clear();
     plan.rmq.clear();

@@ -27,30 +27,45 @@
  * superset — so a hit returns a verdict that is bit-identical to
  * recomputation by construction.
  *
- * Epoch-based invalidation. The pure check function depends on the
- * request plus exactly two tables: EntryTable and MdCfgTable. Both
- * carry generation counters bumped on every successful mutation
- * (through the MMIO window or direct calls). Every CheckAccel::check
- * compares the current generations against the last-seen pair; any
- * change lazily flushes the verdict cache (salt bump, O(1)) and marks
- * every compiled plan stale. SRC2MD changes need no invalidation: the
- * MD bitmap is part of the request and therefore of every cache key
- * and plan key. CAM / eSID / block-bitmap state acts before the
- * checker (SID resolution and §4.1 blocking) and never reaches this
- * layer. The §4.1 blocking-window atomicity argument is untouched:
- * authorize() consults the block bit before the accelerated check,
- * and any entry/MDCFG write inside the window bumps a generation.
+ * Incremental invalidation. CheckAccel registers as a TableListener
+ * on the EntryTable and MdCfgTable (tables.hh): every successful
+ * mutation reports the entry range / MD set it touched, through the
+ * MMIO window and direct calls alike — completeness by construction.
+ * Each MD carries a salt; a plan's salt is the sum of its MDs' salts
+ * (plus a global salt bumped only by whole-table resets), folded into
+ * every verdict-cache line at fill time. A mutation bumps only the
+ * affected MDs' salts and marks only the plans whose bitmap
+ * intersects the dirty set — plans and cache lines for disjoint MD
+ * bitmaps stay valid, and stale plans recompile lazily on their next
+ * use, off the mutation path. Per-bitmap salts are monotone (every
+ * term only grows) and lines compare the bitmap exactly, so a stale
+ * line can never false-hit.
  *
- * Escape hatch: SIOPMP_NO_CHECK_CACHE=1 disables the layer process-
- * wide (mirrors SIOPMP_NO_FAST_FORWARD); SIopmp::setCheckCache and
- * CheckerLogic::setAccelEnabled override per instance.
+ * What deliberately does NOT invalidate: SRC2MD changes (the MD
+ * bitmap is part of the request and therefore of every cache key and
+ * plan key), and CAM / eSID / block-bitmap state (all act before the
+ * checker — SID resolution and §4.1 blocking — and never reach this
+ * layer). The §4.1 blocking-window atomicity argument is untouched:
+ * authorize() consults the block bit before the accelerated check,
+ * and any entry/MDCFG write inside the window dirties the affected
+ * plans before the first post-window check.
+ *
+ * Modes. AccelMode selects how much of the layer is active: Off (the
+ * checker's own microarchitectural walk), Plans (compiled plans, no
+ * verdict cache), PlansAndCache (both; the default). The process-wide
+ * default comes from SIOPMP_ACCEL_MODE (off | plans | plans+cache),
+ * with the legacy SIOPMP_NO_CHECK_CACHE=1 spelling still honoured,
+ * and can be overridden programmatically (setDefaultMode) or per
+ * instance (CheckerLogic::setAccelMode / SIopmp::setAccelMode).
  */
 
 #ifndef IOPMP_ACCEL_HH
 #define IOPMP_ACCEL_HH
 
+#include <array>
 #include <cstdint>
 #include <limits>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -65,13 +80,39 @@ namespace iopmp {
 struct CheckRequest;
 struct CheckResult;
 
-class CheckAccel
+/**
+ * How much of the check-path acceleration layer is active. One knob
+ * replaces the former trio (SIOPMP_NO_CHECK_CACHE env,
+ * SIopmp::setCheckCache, fuzzer --cache), which could only express
+ * all-or-nothing.
+ */
+enum class AccelMode : std::uint8_t {
+    Off,           //!< the checker's own microarchitectural walk
+    Plans,         //!< compiled match plans, no verdict cache
+    PlansAndCache, //!< plans fronted by the verdict cache (default)
+};
+
+/** Canonical spelling: "off", "plans", "plans+cache". */
+const char *accelModeName(AccelMode mode);
+
+/** Parse "off" / "plans" / "plans+cache" (alias "plans_and_cache").
+ * Returns false (and leaves @p out alone) on anything else. */
+bool parseAccelMode(const std::string &text, AccelMode *out);
+
+class CheckAccel final : public TableListener
 {
   public:
     /** @p group_name names the stats group; per-CheckerNode replicas
-     * pass "<node>.accel" so concurrent instances stay distinct. */
+     * pass "<node>.accel" so concurrent instances stay distinct.
+     * Registers as a mutation listener on both tables; @p mode must
+     * not be Off (an owner models Off by not having a CheckAccel). */
     CheckAccel(const EntryTable &entries, const MdCfgTable &mdcfg,
-               std::string group_name = "check_accel");
+               std::string group_name = "check_accel",
+               AccelMode mode = AccelMode::PlansAndCache);
+    ~CheckAccel() override;
+
+    CheckAccel(const CheckAccel &) = delete;
+    CheckAccel &operator=(const CheckAccel &) = delete;
 
     /**
      * Authorize one access. Bit-identical to the reference
@@ -80,20 +121,67 @@ class CheckAccel
      */
     CheckResult check(const CheckRequest &req);
 
-    /** Process-wide default (false iff SIOPMP_NO_CHECK_CACHE is set
-     * to a non-empty value other than "0"). Re-read on every call so
-     * tests can toggle the environment. */
+    AccelMode mode() const { return mode_; }
+
+    /** Switch between Plans and PlansAndCache (Off is modelled by
+     * destroying the instance — see CheckerLogic::setAccelMode).
+     * Compiled plans survive; cache lines revalidate via their salts. */
+    void setMode(AccelMode mode);
+
+    /**
+     * Process-wide default mode, applied by makeChecker to every
+     * factory-built checker. Resolution order: setDefaultMode
+     * override, SIOPMP_ACCEL_MODE (off | plans | plans+cache), the
+     * legacy SIOPMP_NO_CHECK_CACHE veto, then PlansAndCache. Re-read
+     * on every call so tests can toggle the environment.
+     */
+    static AccelMode defaultMode();
+
+    /** Programmatic override of defaultMode (CLIs); nullopt returns
+     * resolution to the environment. */
+    static void setDefaultMode(std::optional<AccelMode> mode);
+
+    /** @deprecated Use defaultMode(); true iff it is not Off. */
+    [[deprecated("use CheckAccel::defaultMode()")]]
     static bool defaultEnabled();
+
+    // ---- TableListener ---------------------------------------------------
+
+    void onEntriesChanged(unsigned lo, unsigned hi) override;
+    void onMdWindowsChanged(std::uint64_t md_mask, unsigned lo,
+                            unsigned hi) override;
+    void onTableReset() override;
 
     // ---- observability ---------------------------------------------------
 
     std::uint64_t cacheHits() const { return hits_->value(); }
     std::uint64_t cacheMisses() const { return misses_->value(); }
-    std::uint64_t cacheFlushes() const { return flushes_->value(); }
+    //! Whole-layer invalidations (table resets): every line and plan.
+    std::uint64_t fullFlushes() const { return full_flushes_->value(); }
+    //! Targeted invalidations: only plans/lines whose bitmap
+    //! intersects the mutation's dirty-MD set.
+    std::uint64_t partialFlushes() const
+    {
+        return partial_flushes_->value();
+    }
+    //! First-time compiles of a new MD bitmap's plan.
     std::uint64_t planCompiles() const { return compiles_->value(); }
+    //! Lazy rebuilds of plans dirtied by a mutation.
+    std::uint64_t planRecompiles() const { return recompiles_->value(); }
+    //! Plans currently dirty and awaiting lazy recompile (gauge).
+    std::uint64_t stalePlans() const { return stale_plans_count_; }
+
+    /** @deprecated Split into fullFlushes() + partialFlushes(). */
+    [[deprecated("split into fullFlushes()/partialFlushes()")]]
+    std::uint64_t cacheFlushes() const
+    {
+        return full_flushes_->value() + partial_flushes_->value();
+    }
+    /** @deprecated Renamed planRecompiles(). */
+    [[deprecated("renamed planRecompiles()")]]
     std::uint64_t planInvalidations() const
     {
-        return invalidations_->value();
+        return recompiles_->value();
     }
 
     stats::Group &statsGroup() { return stats_; }
@@ -106,17 +194,26 @@ class CheckAccel
     static constexpr std::int32_t kNoEntry =
         std::numeric_limits<std::int32_t>::max();
 
+    //! Direct-mapped bitmap -> Plan* index slots (power of two). Keeps
+    //! the per-check plan lookup off the unordered_map for workloads
+    //! alternating between many SIDs' bitmaps.
+    static constexpr std::size_t kPlanIndexSlots = 256;
+
     /**
      * Compiled interval index for one MD bitmap. Segment i spans
      * [starts[i], starts[i+1]) (the last segment extends to 2^64);
      * min_entry[i] is the lowest enabled entry index covering any part
      * of segment i, or kNoEntry. rmq is a level-major sparse table
-     * over min_entry for O(1) range minimum.
+     * over min_entry for O(1) range minimum. salt is the per-bitmap
+     * validity token folded into cache lines (global salt + the sum of
+     * the bitmap's MD salts at compile time); dirty marks the plan for
+     * lazy recompilation on its next use.
      */
     struct Plan {
         std::uint64_t md_bitmap = 0;
-        std::uint64_t entry_gen = 0; //!< generations the plan was
-        std::uint64_t md_gen = 0;    //!< compiled against
+        std::uint64_t salt = 0;
+        bool compiled = false;
+        bool dirty = true;
         std::vector<Addr> starts;
         std::vector<std::int32_t> min_entry;
         std::vector<std::int32_t> rmq; //!< levels * num_segments
@@ -124,7 +221,9 @@ class CheckAccel
     };
 
     /** One direct-mapped verdict-cache line. Valid iff salt matches
-     * the cache's current salt (bumped wholesale on flush). */
+     * the current salt of the md_bitmap's plan: a mutation touching
+     * any MD in the bitmap advances that salt, so only intersecting
+     * lines die. */
     struct Line {
         std::uint64_t salt = 0;
         std::uint64_t md_bitmap = 0;
@@ -136,9 +235,15 @@ class CheckAccel
         bool partial = false;
     };
 
-    /** Observe table generations; flush lazily on any change. @p now
-     * timestamps the trace instant (0 outside cycle context). */
-    void observeEpoch(Cycle now);
+    /** Bump the salts of @p md_mask's MDs and mark intersecting plans
+     * dirty (one partial flush). */
+    void invalidateMds(std::uint64_t md_mask);
+
+    /** Whole-layer invalidation (table reset): one full flush. */
+    void fullFlush();
+
+    /** Current validity salt for @p md_bitmap. */
+    std::uint64_t saltFor(std::uint64_t md_bitmap) const;
 
     Plan &planFor(std::uint64_t md_bitmap, Cycle now);
     void compile(Plan &plan, std::uint64_t md_bitmap) const;
@@ -152,22 +257,31 @@ class CheckAccel
 
     const EntryTable &entries_;
     const MdCfgTable &mdcfg_;
+    AccelMode mode_;
 
-    std::uint64_t seen_entry_gen_ = 0;
-    std::uint64_t seen_md_gen_ = 0;
+    std::uint64_t global_salt_ = 1;
+    std::vector<std::uint64_t> md_salts_;
 
     std::unordered_map<std::uint64_t, Plan> plans_;
-    Plan *last_plan_ = nullptr; //!< one-entry MRU over plans_
+    //! Direct-mapped bitmap -> plan pointers (hashed); covers the
+    //! common same-bitmap burst and round-robin SID streams alike.
+    std::array<Plan *, kPlanIndexSlots> plan_index_{};
 
     std::vector<Line> lines_;
-    std::uint64_t salt_ = 1;
+
+    std::uint64_t stale_plans_count_ = 0;
+    //! Cycle of the most recent check; timestamps invalidation trace
+    //! instants (mutations arrive without cycle context).
+    Cycle last_seen_now_ = 0;
 
     stats::Group stats_;
     stats::Scalar *hits_;
     stats::Scalar *misses_;
-    stats::Scalar *flushes_;
+    stats::Scalar *full_flushes_;
+    stats::Scalar *partial_flushes_;
     stats::Scalar *compiles_;
-    stats::Scalar *invalidations_;
+    stats::Scalar *recompiles_;
+    stats::Scalar *stale_gauge_;
 };
 
 } // namespace iopmp

@@ -56,19 +56,31 @@ std::unique_ptr<CheckerLogic>
 makeChecker(CheckerKind kind, unsigned stages, const EntryTable &entries,
             const MdCfgTable &mdcfg)
 {
+    std::unique_ptr<CheckerLogic> checker;
     switch (kind) {
       case CheckerKind::Linear:
-        return std::make_unique<LinearChecker>(entries, mdcfg);
+        checker = std::make_unique<LinearChecker>(entries, mdcfg);
+        break;
       case CheckerKind::Tree:
-        return std::make_unique<TreeChecker>(entries, mdcfg);
+        checker = std::make_unique<TreeChecker>(entries, mdcfg);
+        break;
       case CheckerKind::PipelineLinear:
-        return std::make_unique<PipelinedChecker>(entries, mdcfg, stages,
-                                                  /*tree_units=*/false);
+        checker = std::make_unique<PipelinedChecker>(entries, mdcfg, stages,
+                                                     /*tree_units=*/false);
+        break;
       case CheckerKind::PipelineTree:
-        return std::make_unique<PipelinedChecker>(entries, mdcfg, stages,
-                                                  /*tree_units=*/true);
+        checker = std::make_unique<PipelinedChecker>(entries, mdcfg, stages,
+                                                     /*tree_units=*/true);
+        break;
     }
-    panic("unknown checker kind");
+    if (!checker)
+        panic("unknown checker kind");
+    // The one place the process-wide default applies: every
+    // factory-built checker — whether owned by an SIopmp, a
+    // CheckerNode replica, a test or a bench — starts in the same
+    // mode. Callers wanting something else call setAccelMode after.
+    checker->setAccelMode(CheckAccel::defaultMode());
+    return checker;
 }
 
 } // namespace iopmp

@@ -92,20 +92,39 @@ class CheckerLogic
     virtual CheckResult checkUncached(const CheckRequest &req) const = 0;
 
     /**
-     * Enable/disable the shared check-path accelerator for this
-     * checker instance. Disabled by default for directly-constructed
-     * checkers (unit tests exercise the real reduction logic); SIopmp
-     * turns it on centrally unless SIOPMP_NO_CHECK_CACHE is set.
+     * Select the acceleration mode for this checker instance.
+     * makeChecker() applies CheckAccel::defaultMode() to every
+     * factory-built checker — the one construction path and the one
+     * documented default. Directly-constructed checkers (raw
+     * LinearChecker/TreeChecker/... ctors, used by microarchitecture
+     * unit tests) stay Off until told otherwise, so the per-kind
+     * reduction logic keeps getting exercised.
      */
+    void
+    setAccelMode(AccelMode mode)
+    {
+        if (mode == AccelMode::Off) {
+            accel_.reset();
+        } else if (!accel_) {
+            accel_ = std::make_unique<CheckAccel>(entries_, mdcfg_,
+                                                  accel_stats_name_, mode);
+        } else {
+            accel_->setMode(mode);
+        }
+    }
+
+    AccelMode
+    accelMode() const
+    {
+        return accel_ ? accel_->mode() : AccelMode::Off;
+    }
+
+    /** @deprecated Use setAccelMode(); true maps to PlansAndCache. */
+    [[deprecated("use setAccelMode(AccelMode)")]]
     void
     setAccelEnabled(bool on)
     {
-        if (on && !accel_) {
-            accel_ = std::make_unique<CheckAccel>(entries_, mdcfg_,
-                                                  accel_stats_name_);
-        } else if (!on) {
-            accel_.reset();
-        }
+        setAccelMode(on ? AccelMode::PlansAndCache : AccelMode::Off);
     }
 
     /**

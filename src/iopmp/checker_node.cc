@@ -62,10 +62,14 @@ CheckerNode::syncLogic()
         logic_->stages() != ref.stages()) {
         logic_ = makeChecker(ref.kind(), ref.stages(), unit_->entryTable(),
                              unit_->mdcfg());
+        // The factory-built accelerator carries the default stats
+        // group name; rebuild it under this node's name so concurrent
+        // replicas report separately.
+        logic_->setAccelMode(AccelMode::Off);
         logic_->setAccelStatsName(name() + ".accel");
     }
-    if (logic_->accelEnabled() != ref.accelEnabled())
-        logic_->setAccelEnabled(ref.accelEnabled());
+    if (logic_->accelMode() != ref.accelMode())
+        logic_->setAccelMode(ref.accelMode());
 }
 
 bool

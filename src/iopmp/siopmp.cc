@@ -39,10 +39,9 @@ SIopmp::SIopmp(IopmpConfig cfg, CheckerKind kind, unsigned stages)
       checker_(makeChecker(kind, stages, entries_, mdcfg_)),
       stats_("siopmp")
 {
-    // Accelerate the check path unless SIOPMP_NO_CHECK_CACHE vetoes
-    // it. Directly-constructed checkers (unit tests) stay uncached so
-    // they exercise the real reduction logic.
-    checker_->setAccelEnabled(CheckAccel::defaultEnabled());
+    // The checker arrives from makeChecker already in the process-wide
+    // default acceleration mode (CheckAccel::defaultMode) — the single
+    // construction path applies the single documented default.
     st_checks_ = &stats_.scalar("checks");
     st_sid_misses_ = &stats_.scalar("sid_misses");
     st_blocked_ = &stats_.scalar("blocked_stalls");
@@ -54,15 +53,15 @@ SIopmp::SIopmp(IopmpConfig cfg, CheckerKind kind, unsigned stages)
 void
 SIopmp::setChecker(CheckerKind kind, unsigned stages)
 {
-    const bool accel = checker_->accelEnabled();
+    const AccelMode mode = checker_->accelMode();
     checker_ = makeChecker(kind, stages, entries_, mdcfg_);
-    checker_->setAccelEnabled(accel);
+    checker_->setAccelMode(mode);
 }
 
 void
-SIopmp::setCheckCache(bool on)
+SIopmp::setAccelMode(AccelMode mode)
 {
-    checker_->setAccelEnabled(on);
+    checker_->setAccelMode(mode);
 }
 
 std::optional<Sid>

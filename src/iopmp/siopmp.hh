@@ -143,11 +143,21 @@ class SIopmp : public mem::MmioDevice
     const CheckerLogic &checker() const { return *checker_; }
 
     /**
-     * Force the check-path accelerator (compiled match plans + verdict
-     * cache) on or off for this instance, overriding the
-     * SIOPMP_NO_CHECK_CACHE default. Survives setChecker().
+     * Select the check-path acceleration mode for this instance,
+     * overriding the CheckAccel::defaultMode() the checker was built
+     * with. Survives setChecker().
      */
-    void setCheckCache(bool on);
+    void setAccelMode(AccelMode mode);
+    AccelMode accelMode() const { return checker_->accelMode(); }
+
+    /** @deprecated Use setAccelMode(); true maps to PlansAndCache. */
+    [[deprecated("use setAccelMode(AccelMode)")]]
+    void setCheckCache(bool on)
+    {
+        setAccelMode(on ? AccelMode::PlansAndCache : AccelMode::Off);
+    }
+    /** @deprecated Use accelMode(). */
+    [[deprecated("use accelMode()")]]
     bool checkCacheEnabled() const { return checker_->accelEnabled(); }
 
     /**

@@ -5,10 +5,35 @@
 
 #include "iopmp/tables.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace siopmp {
 namespace iopmp {
+
+namespace {
+
+void
+registerListener(std::mutex &mu, std::vector<TableListener *> &listeners,
+                 TableListener *listener)
+{
+    SIOPMP_ASSERT(listener != nullptr, "null table listener");
+    std::lock_guard<std::mutex> guard(mu);
+    listeners.push_back(listener);
+}
+
+void
+unregisterListener(std::mutex &mu, std::vector<TableListener *> &listeners,
+                   TableListener *listener)
+{
+    std::lock_guard<std::mutex> guard(mu);
+    listeners.erase(
+        std::remove(listeners.begin(), listeners.end(), listener),
+        listeners.end());
+}
+
+} // namespace
 
 const char *
 IopmpConfig::validate() const
@@ -25,6 +50,34 @@ IopmpConfig::validate() const
 }
 
 EntryTable::EntryTable(unsigned num_entries) : entries_(num_entries) {}
+
+void
+EntryTable::addListener(TableListener *listener) const
+{
+    registerListener(listeners_mu_, listeners_, listener);
+}
+
+void
+EntryTable::removeListener(TableListener *listener) const
+{
+    unregisterListener(listeners_mu_, listeners_, listener);
+}
+
+void
+EntryTable::notifyChanged(unsigned lo, unsigned hi)
+{
+    std::lock_guard<std::mutex> guard(listeners_mu_);
+    for (TableListener *listener : listeners_)
+        listener->onEntriesChanged(lo, hi);
+}
+
+void
+EntryTable::notifyReset()
+{
+    std::lock_guard<std::mutex> guard(listeners_mu_);
+    for (TableListener *listener : listeners_)
+        listener->onTableReset();
+}
 
 const Entry &
 EntryTable::get(unsigned idx) const
@@ -46,6 +99,7 @@ EntryTable::set(unsigned idx, const Entry &entry, bool machine_mode)
         entries_[idx].lock();
     ++writes_;
     ++generation_;
+    notifyChanged(idx, idx + 1);
     return true;
 }
 
@@ -60,6 +114,9 @@ EntryTable::lock(unsigned idx)
 {
     SIOPMP_ASSERT(idx < entries_.size(), "entry index out of range");
     entries_[idx].lock();
+    // No listener callback: the lock bit never changes a verdict, only
+    // future writability. The legacy generation counter still bumps
+    // (its historical, conservative contract).
     ++generation_;
 }
 
@@ -70,6 +127,7 @@ EntryTable::resetAll()
         entry = Entry::off();
     writes_ = 0;
     ++generation_;
+    notifyReset();
 }
 
 Src2MdTable::Src2MdTable(unsigned num_sids, unsigned num_mds)
@@ -169,8 +227,26 @@ MdCfgTable::setTop(MdIndex md, unsigned top)
         if (tops_[higher] != 0 && top > tops_[higher])
             return false;
     }
+    const unsigned old_top = tops_[md];
+    if (top == old_top) {
+        // Accepted but a no-op: nothing moved, listeners stay quiet.
+        // The legacy generation still bumps (every *accepted* write
+        // always did).
+        ++generation_;
+        return true;
+    }
+    // Entries in [min, max) of the old/new top change owner. The MDs
+    // affected are those whose effective window intersects that range
+    // under the OLD tops (they lose entries) or the NEW tops (they
+    // gain entries) — a post-state-only diff would miss the loser when
+    // a window shrinks past another MD's boundary.
+    const unsigned range_lo = std::min(old_top, top);
+    const unsigned range_hi = std::max(old_top, top);
+    std::uint64_t md_mask = ownersOf(range_lo, range_hi);
     tops_[md] = top;
+    md_mask |= ownersOf(range_lo, range_hi);
     ++generation_;
+    notifyWindows(md_mask, range_lo, range_hi);
     return true;
 }
 
@@ -198,12 +274,60 @@ MdCfgTable::mdOfEntry(unsigned idx) const
     return -1;
 }
 
+std::uint64_t
+MdCfgTable::ownersOf(unsigned lo, unsigned hi) const
+{
+    if (lo >= hi)
+        return 0; // empty range intersects nothing
+    std::uint64_t mask = 0;
+    unsigned covered = 0;
+    for (MdIndex md = 0; md < tops_.size(); ++md) {
+        const unsigned top = tops_[md];
+        if (top <= covered)
+            continue; // unprogrammed or shadowed: empty window
+        // Effective window [covered, top).
+        if (covered < hi && lo < top)
+            mask |= std::uint64_t{1} << md;
+        covered = top;
+    }
+    return mask;
+}
+
+void
+MdCfgTable::addListener(TableListener *listener) const
+{
+    registerListener(listeners_mu_, listeners_, listener);
+}
+
+void
+MdCfgTable::removeListener(TableListener *listener) const
+{
+    unregisterListener(listeners_mu_, listeners_, listener);
+}
+
+void
+MdCfgTable::notifyWindows(std::uint64_t md_mask, unsigned lo, unsigned hi)
+{
+    std::lock_guard<std::mutex> guard(listeners_mu_);
+    for (TableListener *listener : listeners_)
+        listener->onMdWindowsChanged(md_mask, lo, hi);
+}
+
+void
+MdCfgTable::notifyReset()
+{
+    std::lock_guard<std::mutex> guard(listeners_mu_);
+    for (TableListener *listener : listeners_)
+        listener->onTableReset();
+}
+
 void
 MdCfgTable::resetAll()
 {
     for (auto &top : tops_)
         top = 0;
     ++generation_;
+    notifyReset();
 }
 
 } // namespace iopmp

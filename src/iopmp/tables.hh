@@ -8,12 +8,20 @@
  *  - MdCfgTable:  per-MD register MD_m.T giving the top entry index of
  *                 memory domain m; entry j belongs to MD m iff
  *                 MD_{m-1}.T <= j < MD_m.T (MD 0 owns j < MD_0.T).
+ *
+ * Mutation observability: EntryTable and MdCfgTable accept
+ * TableListener registrations and report *which* entries / memory
+ * domains every successful mutation touched — the dirty-set contract
+ * consumers with derived state (compiled match plans, verdict caches)
+ * build incremental invalidation on. The coarse per-table
+ * generation() counters remain as [[deprecated]] shims.
  */
 
 #ifndef IOPMP_TABLES_HH
 #define IOPMP_TABLES_HH
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "iopmp/entry.hh"
@@ -42,6 +50,49 @@ struct IopmpConfig {
 };
 
 /**
+ * Observer of table mutations. The tables call back on every
+ * *successful*, *verdict-relevant* mutation — rejected writes (locks,
+ * monotonicity) and lock-bit changes report nothing, so a listener
+ * sees exactly the events that can change an authorization outcome.
+ *
+ * Delivery guarantees:
+ *  - callbacks fire synchronously inside the mutating call, after the
+ *    table state has been updated (a callback reading the table sees
+ *    the post-mutation state);
+ *  - every MMIO path and every direct call routes through the same
+ *    table mutators, so listening is complete by construction;
+ *  - a callback must not register or unregister listeners.
+ *
+ * Under the parallel engine, mutations (and therefore callbacks) only
+ * happen in the single-threaded main section — never concurrently
+ * with tick-phase reads — matching the existing deferral rules for
+ * MMIO writes.
+ */
+class TableListener
+{
+  public:
+    virtual ~TableListener() = default;
+
+    /** Entries [lo, hi) of the EntryTable were successfully
+     * (re)written. Lock-bit-only changes are not reported: a lock
+     * never changes a verdict, only future writability. */
+    virtual void onEntriesChanged(unsigned lo, unsigned hi) = 0;
+
+    /**
+     * MDCFG top writes moved entries [lo, hi) between memory-domain
+     * windows. @p md_mask has a bit set for every MD whose effective
+     * entry window intersected the moved range before *or* after the
+     * write — i.e. every MD that may have gained or lost entries.
+     */
+    virtual void onMdWindowsChanged(std::uint64_t md_mask, unsigned lo,
+                                    unsigned hi) = 0;
+
+    /** The table was reset wholesale (resetAll): discard every piece
+     * of derived state. */
+    virtual void onTableReset() = 0;
+};
+
+/**
  * Hardware entry register file.
  */
 class EntryTable
@@ -54,12 +105,27 @@ class EntryTable
     const Entry &get(unsigned idx) const;
 
     /**
-     * Configuration generation: bumped on every successful mutation
-     * (set/clear/lock/resetAll), including direct calls that bypass
-     * the MMIO window. Consumers holding derived structures (compiled
-     * match plans, verdict caches) compare generations to detect that
-     * their view of the table is stale.
+     * Register @p listener for mutation callbacks (see TableListener).
+     * Const because observer membership is not logical table state —
+     * read-only consumers (checkers, accelerators holding const refs)
+     * must be able to subscribe. Thread-safe: per-node checker
+     * replicas may be (re)built inside concurrent tick phases.
      */
+    void addListener(TableListener *listener) const;
+    void removeListener(TableListener *listener) const;
+
+    /**
+     * Coarse mutation counter, bumped on every successful mutation
+     * (set/clear/lock/resetAll), including direct calls that bypass
+     * the MMIO window.
+     *
+     * @deprecated The generation number only supports all-or-nothing
+     * staleness ("something changed somewhere"). Register a
+     * TableListener instead: it reports *which* entries changed, which
+     * is what incremental invalidation needs. Kept (and still bumped)
+     * for out-of-tree consumers.
+     */
+    [[deprecated("register a TableListener for fine-grained dirty sets")]]
     std::uint64_t generation() const { return generation_; }
 
     /**
@@ -84,9 +150,14 @@ class EntryTable
     void resetAll();
 
   private:
+    void notifyChanged(unsigned lo, unsigned hi);
+    void notifyReset();
+
     std::vector<Entry> entries_;
     std::uint64_t writes_ = 0;
     std::uint64_t generation_ = 1;
+    mutable std::mutex listeners_mu_;
+    mutable std::vector<TableListener *> listeners_;
 };
 
 /**
@@ -155,16 +226,40 @@ class MdCfgTable
     /** Memory domain owning entry @p idx, or -1 if unassigned. */
     int mdOfEntry(unsigned idx) const;
 
-    /** Generation counter bumped on every accepted mutation (see
-     * EntryTable::generation). */
+    /**
+     * Bitmap of MDs whose *effective* entry window intersects
+     * [lo, hi). The effective window accounts for unprogrammed (zero)
+     * tops between programmed ones: MD m owns [covered, T_m) where
+     * covered is the highest top below m — the same rule mdOfEntry
+     * applies per entry, evaluated for a whole range in O(mds).
+     */
+    std::uint64_t ownersOf(unsigned lo, unsigned hi) const;
+
+    /** Register a mutation listener (see TableListener and
+     * EntryTable::addListener for the const/threading rationale). */
+    void addListener(TableListener *listener) const;
+    void removeListener(TableListener *listener) const;
+
+    /**
+     * Coarse mutation counter bumped on every accepted mutation.
+     *
+     * @deprecated See EntryTable::generation — register a
+     * TableListener; onMdWindowsChanged reports the affected MD set.
+     */
+    [[deprecated("register a TableListener for fine-grained dirty sets")]]
     std::uint64_t generation() const { return generation_; }
 
     void resetAll();
 
   private:
+    void notifyWindows(std::uint64_t md_mask, unsigned lo, unsigned hi);
+    void notifyReset();
+
     std::vector<unsigned> tops_;
     unsigned num_entries_;
     std::uint64_t generation_ = 1;
+    mutable std::mutex listeners_mu_;
+    mutable std::vector<TableListener *> listeners_;
 };
 
 } // namespace iopmp

@@ -16,6 +16,7 @@
 #define SOC_SOC_HH
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "bus/error_node.hh"
@@ -87,6 +88,10 @@ struct SocConfig {
     //! Worker threads for the sharded parallel engine (0 = sequential
     //! loop; see Simulator::setThreads and sim/domain.hh).
     unsigned sim_threads = 0;
+    //! Check-path acceleration mode for the sIOPMP unit (and, via
+    //! CheckerNode::syncLogic, every per-node replica). nullopt keeps
+    //! the process default (CheckAccel::defaultMode()).
+    std::optional<iopmp::AccelMode> accel;
 
     /** The checker knobs as a validatable unit. */
     CheckerConfig

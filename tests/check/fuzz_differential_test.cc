@@ -103,23 +103,83 @@ TEST(DifferentialFuzz, CacheForcedOnAllKindsClean)
     };
     for (const auto &[kind, stages] : kinds) {
         FuzzCaseConfig dense = smallConfig(kind, stages);
-        dense.accel = AccelMode::On;
+        dense.accel = iopmp::AccelMode::PlansAndCache;
         expectClean(dense, 200);
         FuzzCaseConfig wide = wideConfig(kind, stages);
-        wide.accel = AccelMode::On;
+        wide.accel = iopmp::AccelMode::PlansAndCache;
         expectClean(wide, 100);
     }
+}
+
+/** Plans without the verdict cache: the middle acceleration mode is
+ * a distinct code path (planCheck only, no line probes/fills). */
+TEST(DifferentialFuzz, PlansOnlyModeClean)
+{
+    FuzzCaseConfig cfg = smallConfig(iopmp::CheckerKind::Linear, 1);
+    cfg.accel = iopmp::AccelMode::Plans;
+    expectClean(cfg, 200);
+    FuzzCaseConfig wide = wideConfig(iopmp::CheckerKind::Tree, 1);
+    wide.accel = iopmp::AccelMode::Plans;
+    expectClean(wide, 100);
 }
 
 /** And forced OFF: the escape-hatch path is the pure checker walk. */
 TEST(DifferentialFuzz, CacheForcedOffClean)
 {
     FuzzCaseConfig cfg = smallConfig(iopmp::CheckerKind::Linear, 1);
-    cfg.accel = AccelMode::Off;
+    cfg.accel = iopmp::AccelMode::Off;
     expectClean(cfg, 200);
     FuzzCaseConfig wide = wideConfig(iopmp::CheckerKind::Tree, 1);
-    wide.accel = AccelMode::Off;
+    wide.accel = iopmp::AccelMode::Off;
     expectClean(wide, 100);
+}
+
+/**
+ * Churn profile: continuous high-rate table mutation interleaved with
+ * checks, with the full accelerator on — every check runs against
+ * freshly-dirtied plans and salted verdict-cache lines, so any
+ * under-invalidation in the per-MD incremental machinery diverges
+ * from the oracle. The replay-time listener audit additionally fails
+ * the case if a table change escapes the dirty-set callbacks even
+ * when no check happens to land on the stale state.
+ */
+TEST(DifferentialFuzz, ChurnProfileAccelClean)
+{
+    const KindStages kinds[] = {
+        {iopmp::CheckerKind::Linear, 1u},
+        {iopmp::CheckerKind::Tree, 1u},
+        {iopmp::CheckerKind::PipelineTree, 4u},
+    };
+    for (const auto &[kind, stages] : kinds) {
+        FuzzCaseConfig dense = smallConfig(kind, stages);
+        dense.profile = FuzzProfile::Churn;
+        dense.accel = iopmp::AccelMode::PlansAndCache;
+        expectClean(dense, 200);
+    }
+    FuzzCaseConfig wide = wideConfig(iopmp::CheckerKind::Linear, 1);
+    wide.profile = FuzzProfile::Churn;
+    wide.accel = iopmp::AccelMode::PlansAndCache;
+    expectClean(wide, 100);
+}
+
+/** The churn mix must actually churn: mutation write ops outnumber
+ * checks, and checks still make up a meaningful share. */
+TEST(DifferentialFuzz, ChurnProfileShiftsOpMix)
+{
+    FuzzCaseConfig cfg = smallConfig(iopmp::CheckerKind::Linear, 1);
+    cfg.profile = FuzzProfile::Churn;
+    cfg.ops_per_case = 4000;
+    DifferentialFuzzer fuzzer(cfg, 99);
+    const auto ops = fuzzer.generateCase(0);
+    std::size_t writes = 0, checks = 0;
+    for (const FuzzOp &op : ops) {
+        if (op.kind == FuzzOp::Kind::Write)
+            ++writes;
+        else if (op.kind == FuzzOp::Kind::Check)
+            ++checks;
+    }
+    EXPECT_GT(writes, checks * 2);
+    EXPECT_GT(checks, ops.size() / 8);
 }
 
 TEST(DifferentialFuzz, GenerationIsDeterministic)

@@ -10,7 +10,11 @@
  *    write path (and the direct-mutation APIs) that can change an
  *    authorization outcome, comparing a cache-enabled DUT against a
  *    cache-disabled twin driven by the same op sequence;
- *  - the SIOPMP_NO_CHECK_CACHE escape hatch;
+ *  - invalidation minimality: a mutation confined to one MD must not
+ *    invalidate plans or verdict-cache lines of disjoint MD bitmaps
+ *    (the point of the per-MD incremental scheme);
+ *  - the SIOPMP_ACCEL_MODE / legacy SIOPMP_NO_CHECK_CACHE escape
+ *    hatches and the deprecated boolean shims;
  *  - the check_accel observability counters.
  */
 
@@ -18,11 +22,13 @@
 
 #include <cstdlib>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "iopmp/accel.hh"
 #include "iopmp/checker.hh"
+#include "iopmp/linear_checker.hh"
 #include "iopmp/siopmp.hh"
 #include "sim/random.hh"
 
@@ -111,7 +117,8 @@ class AccelDifferential : public ::testing::TestWithParam<KindParam>
 
 /** The accelerated path must be bit-identical to the checker's own
  * reduction, including across direct table mutations mid-stream (the
- * generation counters, not the MMIO window, carry the invalidation). */
+ * TableListener callbacks, not the MMIO window, carry the
+ * invalidation). */
 TEST_P(AccelDifferential, MatchesUncachedUnderMutation)
 {
     constexpr unsigned kEntries = 24;
@@ -126,7 +133,7 @@ TEST_P(AccelDifferential, MatchesUncachedUnderMutation)
 
     auto checker =
         makeChecker(GetParam().kind, GetParam().stages, entries, mdcfg);
-    checker->setAccelEnabled(true);
+    checker->setAccelMode(AccelMode::PlansAndCache);
     ASSERT_TRUE(checker->accelEnabled());
 
     for (unsigned i = 0; i < 4000; ++i) {
@@ -276,10 +283,10 @@ TEST_P(InvalidationCompleteness, CachedMatchesUncachedAcrossMutation)
 {
     SIopmp cached(probeConfig(), CheckerKind::Linear, 1);
     SIopmp uncached(probeConfig(), CheckerKind::Tree, 1);
-    cached.setCheckCache(true);
-    uncached.setCheckCache(false);
-    ASSERT_TRUE(cached.checkCacheEnabled());
-    ASSERT_FALSE(uncached.checkCacheEnabled());
+    cached.setAccelMode(AccelMode::PlansAndCache);
+    uncached.setAccelMode(AccelMode::Off);
+    ASSERT_EQ(cached.accelMode(), AccelMode::PlansAndCache);
+    ASSERT_EQ(uncached.accelMode(), AccelMode::Off);
 
     program(cached);
     program(uncached);
@@ -393,7 +400,7 @@ INSTANTIATE_TEST_SUITE_P(
         Mutation{"direct_entry_set",
                  [](SIopmp &dut) {
                      // Machine-mode table write bypassing MMIO: the
-                     // generation counter must still catch it.
+                     // table listener must still catch it.
                      dut.entryTable().set(0, Entry::off(),
                                           /*machine_mode=*/true);
                  },
@@ -409,57 +416,183 @@ INSTANTIATE_TEST_SUITE_P(
         return info.param.name;
     });
 
-// ---- escape hatch -------------------------------------------------------
+// ---- escape hatches and deprecated shims --------------------------------
+
+/** RAII save/restore of the two acceleration env vars. */
+class EnvGuard
+{
+  public:
+    EnvGuard()
+    {
+        save("SIOPMP_ACCEL_MODE", &accel_);
+        save("SIOPMP_NO_CHECK_CACHE", &legacy_);
+    }
+    ~EnvGuard()
+    {
+        restore("SIOPMP_ACCEL_MODE", accel_);
+        restore("SIOPMP_NO_CHECK_CACHE", legacy_);
+        CheckAccel::setDefaultMode(std::nullopt);
+    }
+
+  private:
+    static void
+    save(const char *name, std::optional<std::string> *slot)
+    {
+        if (const char *value = std::getenv(name))
+            *slot = value;
+        unsetenv(name);
+    }
+    static void
+    restore(const char *name, const std::optional<std::string> &slot)
+    {
+        if (slot)
+            setenv(name, slot->c_str(), 1);
+        else
+            unsetenv(name);
+    }
+
+    std::optional<std::string> accel_;
+    std::optional<std::string> legacy_;
+};
 
 TEST(CheckAccel, EnvEscapeHatch)
 {
-    const char *saved = std::getenv("SIOPMP_NO_CHECK_CACHE");
-    const std::string saved_value = saved ? saved : "";
+    EnvGuard guard;
 
+    // No env, no override: full acceleration.
+    EXPECT_EQ(CheckAccel::defaultMode(), AccelMode::PlansAndCache);
+
+    setenv("SIOPMP_ACCEL_MODE", "off", 1);
+    EXPECT_EQ(CheckAccel::defaultMode(), AccelMode::Off);
+    {
+        SIopmp dut(probeConfig(), CheckerKind::Linear, 1);
+        EXPECT_EQ(dut.accelMode(), AccelMode::Off);
+        // Explicit per-instance override beats the environment.
+        dut.setAccelMode(AccelMode::PlansAndCache);
+        EXPECT_EQ(dut.accelMode(), AccelMode::PlansAndCache);
+    }
+
+    setenv("SIOPMP_ACCEL_MODE", "plans", 1);
+    EXPECT_EQ(CheckAccel::defaultMode(), AccelMode::Plans);
+    {
+        SIopmp dut(probeConfig(), CheckerKind::Linear, 1);
+        EXPECT_EQ(dut.accelMode(), AccelMode::Plans);
+    }
+
+    // An unparseable value falls through to the legacy variable
+    // rather than silently disabling the layer.
+    setenv("SIOPMP_ACCEL_MODE", "warpdrive", 1);
+    EXPECT_EQ(CheckAccel::defaultMode(), AccelMode::PlansAndCache);
+
+    // The programmatic override (CLIs) beats both env vars.
+    CheckAccel::setDefaultMode(AccelMode::Off);
+    EXPECT_EQ(CheckAccel::defaultMode(), AccelMode::Off);
+    CheckAccel::setDefaultMode(std::nullopt);
+    unsetenv("SIOPMP_ACCEL_MODE");
+
+    // Legacy spelling: non-empty, non-"0" disables everything.
     setenv("SIOPMP_NO_CHECK_CACHE", "1", 1);
-    EXPECT_FALSE(CheckAccel::defaultEnabled());
-    {
-        SIopmp dut(probeConfig(), CheckerKind::Linear, 1);
-        EXPECT_FALSE(dut.checkCacheEnabled());
-        // Explicit override beats the environment.
-        dut.setCheckCache(true);
-        EXPECT_TRUE(dut.checkCacheEnabled());
-    }
-
+    EXPECT_EQ(CheckAccel::defaultMode(), AccelMode::Off);
     setenv("SIOPMP_NO_CHECK_CACHE", "0", 1);
-    EXPECT_TRUE(CheckAccel::defaultEnabled());
-
-    unsetenv("SIOPMP_NO_CHECK_CACHE");
-    EXPECT_TRUE(CheckAccel::defaultEnabled());
-    {
-        SIopmp dut(probeConfig(), CheckerKind::Linear, 1);
-        EXPECT_TRUE(dut.checkCacheEnabled());
-    }
-
-    if (saved)
-        setenv("SIOPMP_NO_CHECK_CACHE", saved_value.c_str(), 1);
+    EXPECT_EQ(CheckAccel::defaultMode(), AccelMode::PlansAndCache);
+    // SIOPMP_ACCEL_MODE wins over the legacy variable when both set.
+    setenv("SIOPMP_NO_CHECK_CACHE", "1", 1);
+    setenv("SIOPMP_ACCEL_MODE", "plans", 1);
+    EXPECT_EQ(CheckAccel::defaultMode(), AccelMode::Plans);
 }
 
-TEST(CheckAccel, SetCheckerPreservesCachePolicy)
+TEST(CheckAccel, SetCheckerPreservesAccelMode)
 {
     SIopmp dut(probeConfig(), CheckerKind::Linear, 1);
-    dut.setCheckCache(true);
+    dut.setAccelMode(AccelMode::PlansAndCache);
     dut.setChecker(CheckerKind::Tree, 1);
-    EXPECT_TRUE(dut.checkCacheEnabled());
-    dut.setCheckCache(false);
+    EXPECT_EQ(dut.accelMode(), AccelMode::PlansAndCache);
+    dut.setAccelMode(AccelMode::Plans);
     dut.setChecker(CheckerKind::PipelineTree, 2);
-    EXPECT_FALSE(dut.checkCacheEnabled());
+    EXPECT_EQ(dut.accelMode(), AccelMode::Plans);
+    dut.setAccelMode(AccelMode::Off);
+    dut.setChecker(CheckerKind::Linear, 1);
+    EXPECT_EQ(dut.accelMode(), AccelMode::Off);
 }
+
+/** One documented default, one construction path: the factory applies
+ * CheckAccel::defaultMode(); raw checker constructors stay Off so
+ * microarchitectural unit tests see the pure walk. */
+TEST(CheckAccel, FactoryAppliesDefaultRawConstructionStaysOff)
+{
+    EnvGuard guard;
+
+    constexpr unsigned kEntries = 8;
+    EntryTable entries(kEntries);
+    MdCfgTable mdcfg(2, kEntries);
+
+    auto factory_built =
+        makeChecker(CheckerKind::Linear, 1, entries, mdcfg);
+    EXPECT_EQ(factory_built->accelMode(), CheckAccel::defaultMode());
+    EXPECT_EQ(factory_built->accelMode(), AccelMode::PlansAndCache);
+
+    LinearChecker raw(entries, mdcfg);
+    EXPECT_EQ(raw.accelMode(), AccelMode::Off);
+
+    // The factory honours a changed default, too.
+    CheckAccel::setDefaultMode(AccelMode::Plans);
+    auto plans_built =
+        makeChecker(CheckerKind::Tree, 1, entries, mdcfg);
+    EXPECT_EQ(plans_built->accelMode(), AccelMode::Plans);
+}
+
+// The deprecated boolean shims must keep behaving until they are
+// removed; these tests exercise them on purpose.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+TEST(CheckAccel, DeprecatedBooleanShimsStillWork)
+{
+    EnvGuard guard;
+
+    EXPECT_TRUE(CheckAccel::defaultEnabled());
+    setenv("SIOPMP_NO_CHECK_CACHE", "1", 1);
+    EXPECT_FALSE(CheckAccel::defaultEnabled());
+    unsetenv("SIOPMP_NO_CHECK_CACHE");
+
+    SIopmp dut(probeConfig(), CheckerKind::Linear, 1);
+    dut.setCheckCache(false);
+    EXPECT_FALSE(dut.checkCacheEnabled());
+    EXPECT_EQ(dut.accelMode(), AccelMode::Off);
+    dut.setCheckCache(true);
+    EXPECT_TRUE(dut.checkCacheEnabled());
+    EXPECT_EQ(dut.accelMode(), AccelMode::PlansAndCache);
+}
+
+TEST(CheckAccel, DeprecatedGenerationCountersStillTick)
+{
+    constexpr unsigned kEntries = 8;
+    EntryTable entries(kEntries);
+    MdCfgTable mdcfg(2, kEntries);
+    const std::uint64_t eg0 = entries.generation();
+    ASSERT_TRUE(entries.set(0, Entry::range(0, 0x1000, Perm::Read), true));
+    EXPECT_GT(entries.generation(), eg0);
+    const std::uint64_t mg0 = mdcfg.generation();
+    ASSERT_TRUE(mdcfg.setTop(0, 4));
+    EXPECT_GT(mdcfg.generation(), mg0);
+}
+
+#pragma GCC diagnostic pop
 
 // ---- observability counters ---------------------------------------------
 
 TEST(CheckAccel, CountersTrackHitsMissesAndFlushes)
 {
     SIopmp dut(probeConfig(), CheckerKind::Linear, 1);
-    dut.setCheckCache(true);
+    dut.setAccelMode(AccelMode::PlansAndCache);
     program(dut);
     const CheckAccel *accel = dut.checker().accel();
     ASSERT_NE(accel, nullptr);
+
+    // program() itself churns the tables through MMIO, so flush
+    // counters are already nonzero; snapshot and compare deltas.
+    const std::uint64_t partial0 = accel->partialFlushes();
+    const std::uint64_t full0 = accel->fullFlushes();
 
     // First check compiles SID1's plan and misses the verdict cache.
     EXPECT_EQ(dut.authorize(kDevHot, 0x1000, 8, Perm::Read).status,
@@ -468,6 +601,7 @@ TEST(CheckAccel, CountersTrackHitsMissesAndFlushes)
     const std::uint64_t compiles0 = accel->planCompiles();
     EXPECT_GE(misses0, 1u);
     EXPECT_GE(compiles0, 1u);
+    EXPECT_EQ(accel->planRecompiles(), 0u);
 
     // Identical repeats hit; no new plan work.
     for (int i = 0; i < 5; ++i)
@@ -476,15 +610,165 @@ TEST(CheckAccel, CountersTrackHitsMissesAndFlushes)
     EXPECT_EQ(accel->cacheMisses(), misses0);
     EXPECT_EQ(accel->planCompiles(), compiles0);
 
-    // A config write flushes the cache and strands the plan: the next
-    // check re-misses, re-compiles, and counts the invalidation.
+    // A config write partially flushes (no full flush: only the owning
+    // MDs salt forward) and strands the plan: the next check
+    // re-misses and re-compiles.
     writeEntry(dut, 0, 0x1000, 0x1000, (1u << 2) | 0x1); // rw -> r-
+    EXPECT_EQ(accel->partialFlushes(), partial0 + 1);
+    EXPECT_EQ(accel->fullFlushes(), full0);
+    EXPECT_GE(accel->stalePlans(), 1u);
     EXPECT_FALSE(
         dut.authorize(kDevHot, 0x1000, 8, Perm::Write).status ==
         AuthStatus::Allow);
-    EXPECT_GE(accel->cacheFlushes(), 1u);
-    EXPECT_GE(accel->planInvalidations(), 1u);
-    EXPECT_GT(accel->planCompiles(), compiles0);
+    EXPECT_GE(accel->planRecompiles(), 1u);
+    EXPECT_GT(accel->cacheMisses(), misses0);
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    // Deprecated aggregates stay coherent with the split counters.
+    EXPECT_EQ(accel->cacheFlushes(),
+              accel->fullFlushes() + accel->partialFlushes());
+    EXPECT_EQ(accel->planInvalidations(), accel->planRecompiles());
+#pragma GCC diagnostic pop
+}
+
+// ---- invalidation minimality --------------------------------------------
+
+/** Four-MD layout with one plan-warmed request per disjoint bitmap:
+ * the shared scaffolding for the minimality tests. */
+struct MinimalityRig {
+    static constexpr unsigned kEntries = 16;
+
+    MinimalityRig() : entries(kEntries), mdcfg(4, kEntries)
+    {
+        // MD m owns entries [4m, 4m+4).
+        for (MdIndex md = 0; md < 4; ++md)
+            EXPECT_TRUE(mdcfg.setTop(md, (md + 1) * 4));
+        for (unsigned i = 0; i < kEntries; ++i) {
+            EXPECT_TRUE(entries.set(
+                i, Entry::range(Addr{0x1000} * i, 0x1000, Perm::ReadWrite),
+                /*machine_mode=*/true));
+        }
+        checker = makeChecker(CheckerKind::Linear, 1, entries, mdcfg);
+        checker->setAccelMode(AccelMode::PlansAndCache);
+        accel = checker->accel();
+        EXPECT_NE(accel, nullptr);
+
+        // req_a reads through MD0; req_b through MD2|MD3 — disjoint.
+        req_a.addr = 0x1000;
+        req_a.len = 8;
+        req_a.perm = Perm::Read;
+        req_a.md_bitmap = 0x1;
+        req_b = req_a;
+        req_b.addr = 0x9000;
+        req_b.md_bitmap = 0xc;
+
+        // Compile both plans and fill both verdict-cache lines.
+        checker->check(req_a);
+        checker->check(req_b);
+        EXPECT_EQ(accel->planCompiles(), 2u);
+        EXPECT_EQ(accel->cacheMisses(), 2u);
+    }
+
+    EntryTable entries;
+    MdCfgTable mdcfg;
+    std::unique_ptr<CheckerLogic> checker;
+    const CheckAccel *accel = nullptr;
+    CheckRequest req_a;
+    CheckRequest req_b;
+};
+
+/** An entry rewrite inside MD0 must leave MD2|MD3's plan compiled and
+ * its verdict-cache line live, while MD0's plan goes stale. */
+TEST(CheckAccel, EntryMutationLeavesDisjointMdsValid)
+{
+    MinimalityRig rig;
+
+    // Entry 1 lives in MD0's window.
+    ASSERT_TRUE(rig.entries.set(
+        1, Entry::range(0x1000, 0x1000, Perm::Read), true));
+    EXPECT_EQ(rig.accel->partialFlushes(), 1u);
+    EXPECT_EQ(rig.accel->fullFlushes(), 0u);
+    EXPECT_EQ(rig.accel->stalePlans(), 1u);
+
+    // Disjoint bitmap: still a verdict-cache hit, no plan work.
+    rig.checker->check(rig.req_b);
+    EXPECT_EQ(rig.accel->cacheHits(), 1u);
+    EXPECT_EQ(rig.accel->cacheMisses(), 2u);
+    EXPECT_EQ(rig.accel->planRecompiles(), 0u);
+
+    // Touched bitmap: the plan recompiles and the salted line misses.
+    rig.checker->check(rig.req_a);
+    EXPECT_EQ(rig.accel->planRecompiles(), 1u);
+    EXPECT_EQ(rig.accel->cacheMisses(), 3u);
+    EXPECT_EQ(rig.accel->stalePlans(), 0u);
+}
+
+/** An MDCFG top move on the MD0/MD1 boundary must dirty only bitmaps
+ * intersecting {MD0, MD1}. */
+TEST(CheckAccel, MdcfgTopMoveLeavesDisjointMdsValid)
+{
+    MinimalityRig rig;
+
+    // MD0 shrinks 4 -> 3: entry 3 moves from MD0 to MD1.
+    ASSERT_TRUE(rig.mdcfg.setTop(0, 3));
+    EXPECT_EQ(rig.accel->partialFlushes(), 1u);
+    EXPECT_EQ(rig.accel->fullFlushes(), 0u);
+
+    // MD2|MD3 is untouched by the boundary move.
+    rig.checker->check(rig.req_b);
+    EXPECT_EQ(rig.accel->cacheHits(), 1u);
+    EXPECT_EQ(rig.accel->planRecompiles(), 0u);
+
+    // MD0's plan is stale and recompiles.
+    rig.checker->check(rig.req_a);
+    EXPECT_EQ(rig.accel->planRecompiles(), 1u);
+    EXPECT_EQ(rig.accel->stalePlans(), 0u);
+}
+
+/** Overlapping bitmaps on both sides of a mutation: only those
+ * intersecting the dirtied MD set pay for it. */
+TEST(CheckAccel, OverlappingBitmapSaltsAreIndependent)
+{
+    MinimalityRig rig;
+
+    // A third request spanning MD1|MD2 — overlaps neither req_a (MD0)
+    // nor the mutation target below (MD3).
+    CheckRequest req_c = rig.req_a;
+    req_c.addr = 0x5000;
+    req_c.md_bitmap = 0x6;
+    rig.checker->check(req_c);
+    EXPECT_EQ(rig.accel->planCompiles(), 3u);
+
+    // Mutate entry 13 (MD3): dirties req_b's plan (MD2|MD3 intersects
+    // {MD3}) but not req_a's or req_c's.
+    ASSERT_TRUE(rig.entries.set(
+        13, Entry::range(0xd000, 0x1000, Perm::Read), true));
+    EXPECT_EQ(rig.accel->stalePlans(), 1u);
+
+    rig.checker->check(rig.req_a);
+    rig.checker->check(req_c);
+    EXPECT_EQ(rig.accel->planRecompiles(), 0u);
+    EXPECT_EQ(rig.accel->cacheHits(), 2u);
+
+    rig.checker->check(rig.req_b);
+    EXPECT_EQ(rig.accel->planRecompiles(), 1u);
+}
+
+/** resetAll is the sledgehammer: everything stale, one full flush. */
+TEST(CheckAccel, TableResetFullyFlushes)
+{
+    MinimalityRig rig;
+
+    rig.entries.resetAll();
+    EXPECT_EQ(rig.accel->fullFlushes(), 1u);
+    EXPECT_EQ(rig.accel->stalePlans(), 2u);
+
+    rig.checker->check(rig.req_a);
+    rig.checker->check(rig.req_b);
+    EXPECT_EQ(rig.accel->planRecompiles(), 2u);
+    EXPECT_EQ(rig.accel->cacheHits(), 0u);
+    EXPECT_EQ(rig.accel->stalePlans(), 0u);
 }
 
 TEST(CheckAccel, ZeroLengthMatchesUncached)

@@ -143,6 +143,224 @@ TEST(MdCfg, ResetZeroesTops)
     EXPECT_EQ(t.mdOfEntry(0), -1);
 }
 
+TEST(MdCfg, OwnersOfUsesEffectiveWindows)
+{
+    MdCfgTable t(4, 64);
+    t.setTop(0, 4);
+    t.setTop(1, 10);
+    t.setTop(2, 10); // empty MD
+    t.setTop(3, 16);
+
+    EXPECT_EQ(t.ownersOf(0, 4), 0x1u);
+    EXPECT_EQ(t.ownersOf(3, 5), 0x3u);
+    EXPECT_EQ(t.ownersOf(10, 16), 0x8u); // MD2's window is empty
+    EXPECT_EQ(t.ownersOf(0, 16), 0xbu);
+    EXPECT_EQ(t.ownersOf(16, 64), 0x0u); // past every programmed top
+    EXPECT_EQ(t.ownersOf(5, 5), 0x0u);   // empty query range
+}
+
+/** Records every TableListener callback for event-by-event assertions. */
+struct RecordingListener final : public TableListener {
+    struct Event {
+        enum class Kind { Entries, Windows, Reset } kind;
+        std::uint64_t md_mask = 0;
+        unsigned lo = 0;
+        unsigned hi = 0;
+    };
+
+    void
+    onEntriesChanged(unsigned lo, unsigned hi) override
+    {
+        events.push_back({Event::Kind::Entries, 0, lo, hi});
+    }
+
+    void
+    onMdWindowsChanged(std::uint64_t md_mask, unsigned lo,
+                       unsigned hi) override
+    {
+        events.push_back({Event::Kind::Windows, md_mask, lo, hi});
+    }
+
+    void
+    onTableReset() override
+    {
+        events.push_back({Event::Kind::Reset, 0, 0, 0});
+    }
+
+    std::vector<Event> events;
+};
+
+TEST(TableListenerTest, EntrySetReportsExactRange)
+{
+    EntryTable t(8);
+    RecordingListener listener;
+    t.addListener(&listener);
+
+    EXPECT_TRUE(t.set(3, Entry::range(0x1000, 0x10, Perm::Read)));
+    ASSERT_EQ(listener.events.size(), 1u);
+    EXPECT_EQ(listener.events[0].kind,
+              RecordingListener::Event::Kind::Entries);
+    EXPECT_EQ(listener.events[0].lo, 3u);
+    EXPECT_EQ(listener.events[0].hi, 4u);
+
+    // clear() is a write of Entry::off() and must report too.
+    EXPECT_TRUE(t.clear(5));
+    ASSERT_EQ(listener.events.size(), 2u);
+    EXPECT_EQ(listener.events[1].lo, 5u);
+    EXPECT_EQ(listener.events[1].hi, 6u);
+
+    t.removeListener(&listener);
+}
+
+TEST(TableListenerTest, EntryLockAndRejectedWritesAreSilent)
+{
+    EntryTable t(4);
+    t.set(0, Entry::range(0x0, 0x10, Perm::Read));
+
+    RecordingListener listener;
+    t.addListener(&listener);
+
+    // Lock-bit changes never alter a verdict: no callback.
+    t.lock(0);
+    EXPECT_TRUE(listener.events.empty());
+
+    // A rejected unprivileged write to the locked entry changes
+    // nothing and must not report.
+    EXPECT_FALSE(t.set(0, Entry::range(0x2000, 0x10, Perm::ReadWrite)));
+    EXPECT_TRUE(listener.events.empty());
+
+    // The machine-mode override succeeds and reports.
+    EXPECT_TRUE(t.set(0, Entry::range(0x2000, 0x10, Perm::ReadWrite),
+                      /*machine_mode=*/true));
+    ASSERT_EQ(listener.events.size(), 1u);
+    EXPECT_EQ(listener.events[0].lo, 0u);
+
+    t.removeListener(&listener);
+}
+
+TEST(TableListenerTest, EntryResetAndRemoveListener)
+{
+    EntryTable t(4);
+    RecordingListener listener;
+    t.addListener(&listener);
+
+    t.resetAll();
+    ASSERT_EQ(listener.events.size(), 1u);
+    EXPECT_EQ(listener.events[0].kind,
+              RecordingListener::Event::Kind::Reset);
+
+    // After removal, mutations no longer reach the listener.
+    t.removeListener(&listener);
+    t.set(1, Entry::range(0x0, 0x8, Perm::Read));
+    t.resetAll();
+    EXPECT_EQ(listener.events.size(), 1u);
+}
+
+TEST(TableListenerTest, EntryMultipleListenersAllNotified)
+{
+    EntryTable t(4);
+    RecordingListener a, b;
+    t.addListener(&a);
+    t.addListener(&b);
+    t.set(2, Entry::range(0x0, 0x8, Perm::Read));
+    EXPECT_EQ(a.events.size(), 1u);
+    EXPECT_EQ(b.events.size(), 1u);
+    t.removeListener(&a);
+    t.removeListener(&b);
+}
+
+TEST(TableListenerTest, MdcfgTopWriteReportsMovedRangeAndOwners)
+{
+    MdCfgTable t(4, 64);
+    t.setTop(0, 4);
+    t.setTop(1, 10);
+
+    RecordingListener listener;
+    t.addListener(&listener);
+
+    // Growing MD1's window 10 -> 12 moves entries [10, 12) from
+    // unowned into MD1: only MD1 is affected.
+    EXPECT_TRUE(t.setTop(1, 12));
+    ASSERT_EQ(listener.events.size(), 1u);
+    EXPECT_EQ(listener.events[0].kind,
+              RecordingListener::Event::Kind::Windows);
+    EXPECT_EQ(listener.events[0].md_mask, 0x2u);
+    EXPECT_EQ(listener.events[0].lo, 10u);
+    EXPECT_EQ(listener.events[0].hi, 12u);
+
+    // Shrinking MD0 4 -> 2 hands entries [2, 4) from MD0 to MD1: the
+    // mask must include the loser AND the gainer (before∪after).
+    EXPECT_TRUE(t.setTop(0, 2));
+    ASSERT_EQ(listener.events.size(), 2u);
+    EXPECT_EQ(listener.events[1].md_mask, 0x3u);
+    EXPECT_EQ(listener.events[1].lo, 2u);
+    EXPECT_EQ(listener.events[1].hi, 4u);
+
+    t.removeListener(&listener);
+}
+
+TEST(TableListenerTest, MdcfgRejectedAndNoOpWritesAreSilent)
+{
+    MdCfgTable t(3, 64);
+    t.setTop(0, 8);
+    t.setTop(1, 16);
+
+    RecordingListener listener;
+    t.addListener(&listener);
+
+    // Rejected (non-monotonic / out-of-range) writes change nothing.
+    EXPECT_FALSE(t.setTop(1, 4));
+    EXPECT_FALSE(t.setTop(2, 12));
+    EXPECT_FALSE(t.setTop(2, 65));
+    EXPECT_TRUE(listener.events.empty());
+
+    // An accepted same-value write moves no entries between windows.
+    EXPECT_TRUE(t.setTop(1, 16));
+    EXPECT_TRUE(listener.events.empty());
+
+    t.removeListener(&listener);
+}
+
+TEST(TableListenerTest, MdcfgResetReports)
+{
+    MdCfgTable t(3, 64);
+    t.setTop(0, 8);
+
+    RecordingListener listener;
+    t.addListener(&listener);
+    t.resetAll();
+    ASSERT_EQ(listener.events.size(), 1u);
+    EXPECT_EQ(listener.events[0].kind,
+              RecordingListener::Event::Kind::Reset);
+    t.removeListener(&listener);
+}
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+/** The legacy coarse counters keep their historical contract — bump
+ * on every accepted mutation, including listener-silent ones (locks,
+ * no-op top writes) — so out-of-tree consumers see no behavior
+ * change. */
+TEST(TableListenerTest, DeprecatedGenerationStillCoarse)
+{
+    EntryTable entries(4);
+    const std::uint64_t g0 = entries.generation();
+    entries.lock(2); // silent for listeners, visible to generation()
+    EXPECT_GT(entries.generation(), g0);
+
+    MdCfgTable mdcfg(3, 64);
+    mdcfg.setTop(0, 8);
+    const std::uint64_t m0 = mdcfg.generation();
+    EXPECT_TRUE(mdcfg.setTop(0, 8)); // accepted no-op
+    EXPECT_GT(mdcfg.generation(), m0);
+    const std::uint64_t m1 = mdcfg.generation();
+    EXPECT_FALSE(mdcfg.setTop(0, 65)); // rejected: no bump
+    EXPECT_EQ(mdcfg.generation(), m1);
+}
+
+#pragma GCC diagnostic pop
+
 } // namespace
 } // namespace iopmp
 } // namespace siopmp

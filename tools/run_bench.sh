@@ -16,9 +16,10 @@
 #
 # --sanitize configures a separate ASan+UBSan-instrumented tree
 # (default build-asan/, matching the asan-ubsan CMake preset), then
-# runs the cache-invalidation/accelerator tests and a bounded
-# differential-fuzz campaign with the verdict cache forced on under
-# the sanitizers. It then configures a second, TSan-instrumented tree
+# runs the cache-invalidation/accelerator tests and bounded
+# differential-fuzz campaigns — accel forced on, forced off, and the
+# mutation-heavy churn profile that stresses per-MD incremental
+# invalidation — under the sanitizers. It then configures a second, TSan-instrumented tree
 # (build-tsan/, matching the tsan preset) and runs the parallel
 # differential suite plus a bounded fuzz smoke under ThreadSanitizer —
 # the data-race gate for the sharded parallel engine. Exits nonzero on
@@ -39,9 +40,16 @@ if [ "${1:-}" = "--sanitize" ]; then
     echo "== accelerator + invalidation tests (sanitized) =="
     "$ASAN_DIR/tests/test_iopmp_checkers" \
         --gtest_filter='*CheckAccel*:*Invalidation*:*AccelDifferential*'
-    echo "== bounded fuzz campaign, cache forced on (sanitized) =="
-    "$ASAN_DIR/tools/siopmp_fuzz" --cases 300 --cache on --seed 1
-    "$ASAN_DIR/tools/siopmp_fuzz" --cases 300 --cache off --seed 1
+    echo "== bounded fuzz campaign, accel forced on (sanitized) =="
+    "$ASAN_DIR/tools/siopmp_fuzz" --cases 300 --accel plans+cache --seed 1
+    "$ASAN_DIR/tools/siopmp_fuzz" --cases 300 --accel off --seed 1
+    # One leg through the deprecated spelling so the shim stays alive.
+    "$ASAN_DIR/tools/siopmp_fuzz" --cases 100 --cache on --seed 1
+    echo "== churn-profile fuzz: incremental invalidation (sanitized) =="
+    "$ASAN_DIR/tools/siopmp_fuzz" --cases 300 --profile churn \
+        --accel plans+cache --seed 1
+    "$ASAN_DIR/tools/siopmp_fuzz" --cases 300 --profile churn \
+        --accel plans --seed 2
 
     echo "== configure + build (TSan) =="
     cmake -B "$TSAN_DIR" -S "$REPO_ROOT" -DSIOPMP_TSAN=ON
@@ -50,6 +58,7 @@ if [ "${1:-}" = "--sanitize" ]; then
     "$TSAN_DIR/tests/test_parallel"
     echo "== bounded fuzz smoke (TSan) =="
     "$TSAN_DIR/tools/siopmp_fuzz" --cases 100 --seed 1
+    "$TSAN_DIR/tools/siopmp_fuzz" --cases 100 --profile churn --seed 1
     echo "run_bench: sanitize mode clean"
     exit 0
 fi
@@ -162,6 +171,8 @@ for key in \
     '"benchmark"' \
     '"num_sids"' \
     '"configs"' \
+    '"churn"' \
+    '"ratio"' \
     '"ns_per_check"' \
     '"s_per_mcycle"' \
     '"speedup"'; do
@@ -189,8 +200,25 @@ for c in cfgs:
 for c in cfgs:
     if c["cache"] == "on":
         assert c["speedup"] >= 3.0, (c["kind"], c["entries"], c["speedup"])
-print("checker json schema OK (min speedup %.1fx)" %
-      min(c["speedup"] for c in cfgs if c["cache"] == "on"))
+# Churn series: every kind at ratios 1:10/1:100/1:1000, accel off+on.
+churn = d["churn"]
+ckinds = {c["kind"] for c in churn}
+assert ckinds == {"linear", "tree", "mt3"}, ckinds
+for c in churn:
+    assert c["accel"] in ("off", "plans+cache"), c
+    assert c["ratio"] in (10, 100, 1000), c
+    assert c["ns_per_check"] > 0, c
+# Acceptance gate: with per-MD incremental invalidation, accelerated
+# checks under churn at a 1:100 mutation:check ratio must be at least
+# 5x the uncached walk, per kind. (The old epoch scheme flushed every
+# plan and line on every mutation; this gate is what it would fail.)
+for c in churn:
+    if c["accel"] == "plans+cache" and c["ratio"] == 100:
+        assert c["speedup"] >= 5.0, (c["kind"], c["speedup"])
+print("checker json schema OK (min speedup %.1fx; min churn@1:100 %.1fx)" %
+      (min(c["speedup"] for c in cfgs if c["cache"] == "on"),
+       min(c["speedup"] for c in churn
+           if c["accel"] == "plans+cache" and c["ratio"] == 100)))
 EOF
     # python3 unavailable: the grep-based key check above already ran.
     echo "checker json schema OK (grep-only: python3 unavailable)"

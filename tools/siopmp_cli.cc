@@ -19,8 +19,12 @@
  * engine with N worker threads (0, the default, keeps the sequential
  * loop). Results are bit-identical either way; see docs/SIMULATION.md.
  *
- * Observability flags, accepted by every command:
+ * Flags accepted by every command:
  *
+ *   --accel MODE       check-path acceleration mode for every sIOPMP
+ *                      the command builds: off | plans | plans+cache
+ *                      (default: CheckAccel::defaultMode(), i.e. the
+ *                      SIOPMP_ACCEL_MODE env var or plans+cache)
  *   --trace-out FILE   write a Chrome trace-event JSON of the run
  *                      (load in Perfetto / chrome://tracing)
  *   --stats-json FILE  write every stats group the run touched as JSON
@@ -39,6 +43,7 @@
 #include <string>
 #include <vector>
 
+#include "iopmp/accel.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
 #include "timing/frequency.hh"
@@ -221,6 +226,7 @@ usage()
     std::fprintf(stderr,
                  "usage: siopmp-cli <latency|bandwidth|network|memcached|"
                  "hotcold|freq> [flags]\n"
+                 "       [--accel off|plans|plans+cache]\n"
                  "       [--trace-out FILE] [--stats-json FILE|-]\n"
                  "run with a command and no flags for sane defaults; see "
                  "the file header for flags.\n");
@@ -300,6 +306,21 @@ main(int argc, char **argv)
     }
     const std::string cmd = argv[1];
     const Args args(argc, argv);
+
+    // Process-wide acceleration-mode selection: every Soc/SIopmp the
+    // commands build below picks this up through makeChecker's
+    // CheckAccel::defaultMode() resolution.
+    const std::string accel = args.value("--accel", "");
+    if (!accel.empty()) {
+        iopmp::AccelMode mode;
+        if (!iopmp::parseAccelMode(accel, &mode)) {
+            std::fprintf(stderr, "unknown accel mode '%s'\n",
+                         accel.c_str());
+            return 2;
+        }
+        iopmp::CheckAccel::setDefaultMode(mode);
+    }
+
     const Observability observability(args);
     if (cmd == "latency")
         return cmdLatency(args);

@@ -7,7 +7,8 @@
  *   siopmp_fuzz [--cases N] [--wide-cases N] [--ops N] [--seed S]
  *               [--checker linear|tree|pipe-linear|pipe-tree|all]
  *               [--stages N] [--entries N] [--sids N] [--mds N]
- *               [--cache on|off|default] [--jobs N]
+ *               [--accel off|plans|plans+cache|default]
+ *               [--profile default|churn] [--jobs N]
  *               [--replay CASE] [--inject lock-bypass|block-hole]
  *               [--trace-out FILE] [--stats-json FILE|-] [--verbose]
  *
@@ -26,9 +27,17 @@
  * workers join. Tracing (--trace-out) forces --jobs 1: the trace sink
  * serializes one event stream.
  *
- * --cache forces the DUT's check-path accelerator (compiled match
- * plans + verdict cache, see docs/PERFORMANCE.md) on or off for every
- * case; "default" defers to SIOPMP_NO_CHECK_CACHE.
+ * --accel forces the DUT's check-path acceleration mode (compiled
+ * match plans, optionally plus the verdict cache — see
+ * docs/PERFORMANCE.md) for every case; "default" defers to
+ * CheckAccel::defaultMode() (SIOPMP_ACCEL_MODE / legacy
+ * SIOPMP_NO_CHECK_CACHE). The old --cache on|off|default spelling is
+ * a deprecated alias (on = plans+cache).
+ *
+ * --profile churn switches the op mix to continuous high-rate table
+ * mutation interleaved with checks — the workload the accelerator's
+ * per-MD incremental invalidation is built for. Every replay also
+ * audits the TableListener dirty-set contract (see check/fuzzer.hh).
  *
  *   --replay K  regenerate case K of the selected checker/sizing,
  *               print every op, and replay it (with trace emission if
@@ -111,7 +120,8 @@ usage()
         "pipe-linear|pipe-tree|all]\n"
         "                   [--stages N] [--entries N] [--sids N] "
         "[--mds N]\n"
-        "                   [--cache on|off|default] [--jobs N]\n"
+        "                   [--accel off|plans|plans+cache|default]\n"
+        "                   [--profile default|churn] [--jobs N]\n"
         "                   [--replay CASE] [--inject "
         "lock-bypass|block-hole]\n"
         "                   [--trace-out FILE] [--stats-json FILE|-] "
@@ -177,11 +187,17 @@ printFailure(const check::FuzzCaseConfig &cfg,
                 iopmp::checkerKindName(cfg.kind), cfg.stages,
                 cfg.num_entries, cfg.num_sids, cfg.num_mds);
     std::printf("  replay: --seed %llu --replay %u --checker %s "
-                "--stages %u --entries %u --sids %u --mds %u --ops %u\n",
+                "--stages %u --entries %u --sids %u --mds %u --ops %u"
+                "%s%s%s\n",
                 static_cast<unsigned long long>(report.seed),
                 report.case_index, iopmp::checkerKindName(cfg.kind),
                 cfg.stages, cfg.num_entries, cfg.num_sids, cfg.num_mds,
-                cfg.ops_per_case);
+                cfg.ops_per_case,
+                cfg.profile == check::FuzzProfile::Churn
+                    ? " --profile churn"
+                    : "",
+                cfg.accel ? " --accel " : "",
+                cfg.accel ? iopmp::accelModeName(*cfg.accel) : "");
     std::printf("  minimized to %zu ops:\n", report.trace.size());
     for (std::size_t i = 0; i < report.trace.size(); ++i)
         std::printf("    [%2zu] %s\n", i, report.trace[i].toString().c_str());
@@ -304,13 +320,38 @@ main(int argc, char **argv)
     base.num_sids = static_cast<unsigned>(args.number("--sids", 16));
     base.num_mds = static_cast<unsigned>(args.number("--mds", 8));
     base.ops_per_case = static_cast<unsigned>(args.number("--ops", 96));
-    const std::string cache = args.value("--cache", "default");
-    if (cache == "on") {
-        base.accel = check::AccelMode::On;
-    } else if (cache == "off") {
-        base.accel = check::AccelMode::Off;
-    } else if (cache != "default") {
-        std::fprintf(stderr, "unknown cache mode '%s'\n", cache.c_str());
+
+    const std::string accel = args.value("--accel", "");
+    const std::string cache = args.value("--cache", "");
+    if (!accel.empty() && accel != "default") {
+        iopmp::AccelMode mode;
+        if (!iopmp::parseAccelMode(accel, &mode)) {
+            std::fprintf(stderr, "unknown accel mode '%s'\n",
+                         accel.c_str());
+            return 2;
+        }
+        base.accel = mode;
+    } else if (!cache.empty()) {
+        // Deprecated spelling; kept so old scripts keep working.
+        std::fprintf(stderr,
+                     "note: --cache is deprecated; use --accel "
+                     "off|plans|plans+cache|default\n");
+        if (cache == "on") {
+            base.accel = iopmp::AccelMode::PlansAndCache;
+        } else if (cache == "off") {
+            base.accel = iopmp::AccelMode::Off;
+        } else if (cache != "default") {
+            std::fprintf(stderr, "unknown cache mode '%s'\n",
+                         cache.c_str());
+            return 2;
+        }
+    }
+
+    const std::string profile = args.value("--profile", "default");
+    if (profile == "churn") {
+        base.profile = check::FuzzProfile::Churn;
+    } else if (profile != "default") {
+        std::fprintf(stderr, "unknown profile '%s'\n", profile.c_str());
         return 2;
     }
 

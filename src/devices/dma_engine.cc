@@ -37,6 +37,7 @@ DmaEngine::start(const DmaJob &job, Cycle now)
     SIOPMP_ASSERT(job_.bytes % (job.burst_beats * bus::kBeatBytes) == 0,
                   "job size must be a multiple of the burst size");
     done_ = job_.bytes == 0;
+    aborted_ = false;
     started_at_ = now;
     completed_at_ = now;
     issued_bytes_ = 0;
@@ -45,6 +46,42 @@ DmaEngine::start(const DmaJob &job, Cycle now)
     write_queue_.clear();
     writing_ = false;
     write_beat_ = 0;
+    wake();
+}
+
+void
+DmaEngine::setDeviceId(DeviceId device)
+{
+    SIOPMP_ASSERT(done_ && outstanding_.empty(),
+                  "device id rebound with a job in flight");
+    device_ = device;
+}
+
+void
+DmaEngine::abort(Cycle now)
+{
+    if (done_)
+        return;
+    aborted_ = true;
+    // Truncate the stream at what has already been issued. A pure
+    // write burst mid-emission is not yet counted in issued_bytes_,
+    // so keep its bytes in the job: issueNext() finishes its beats.
+    job_.bytes = issued_bytes_;
+    if (writing_ && job_.kind != DmaKind::Copy) {
+        job_.bytes += static_cast<std::uint64_t>(job_.burst_beats) *
+                      bus::kBeatBytes;
+    }
+    // Staged copy write-outs are dropped: their reads completed, the
+    // writes never start, so credit the bytes now.
+    for (const auto &out : write_queue_) {
+        completed_bytes_ += static_cast<std::uint64_t>(out.beats) *
+                            bus::kBeatBytes;
+    }
+    write_queue_.clear();
+    if (!writing_ && outstanding_.empty()) {
+        done_ = true;
+        completed_at_ = now;
+    }
     wake();
 }
 
@@ -197,6 +234,8 @@ DmaEngine::collectResponses(Cycle now)
         ++bursts_completed_;
         stats_.average("burst_latency").sample(
             static_cast<double>(now - out.issued_at));
+        if (burst_observer_)
+            burst_observer_(now - out.issued_at, true);
         outstanding_.erase(it);
     } else if (beat.opcode == bus::Opcode::AccessAckData) {
         out.data.push_back(beat.data);
@@ -205,9 +244,13 @@ DmaEngine::collectResponses(Cycle now)
             ++bursts_completed_;
             stats_.average("burst_latency").sample(
                 static_cast<double>(now - out.issued_at));
-            if (job_.kind == DmaKind::Copy) {
+            if (burst_observer_)
+                burst_observer_(now - out.issued_at, false);
+            if (job_.kind == DmaKind::Copy && !aborted_) {
                 write_queue_.push_back(out);
             } else {
+                // Aborted copies count the read as the burst's end:
+                // the write-out never starts.
                 completed_bytes_ += burst_bytes;
             }
             outstanding_.erase(it);
@@ -217,6 +260,8 @@ DmaEngine::collectResponses(Cycle now)
         ++bursts_completed_;
         stats_.average("burst_latency").sample(
             static_cast<double>(now - out.issued_at));
+        if (burst_observer_)
+            burst_observer_(now - out.issued_at, false);
         outstanding_.erase(it);
     }
 

@@ -19,6 +19,7 @@
 #define DEVICES_DMA_ENGINE_HH
 
 #include <deque>
+#include <functional>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -59,6 +60,36 @@ class DmaEngine : public DmaMaster
     /** Start a job; any previous job must have completed. */
     void start(const DmaJob &job, Cycle now);
 
+    /**
+     * Rebind the engine to a different source device id. Fleet
+     * workloads reuse one engine per port across many short-lived
+     * tenants instead of rebuilding the SoC per tenant; only legal
+     * between jobs (no beats in flight carrying the old id).
+     */
+    void setDeviceId(DeviceId device);
+
+    /**
+     * Abort the current job: stop issuing new bursts and let what is
+     * already on the bus drain. A half-emitted write burst still
+     * finishes its beats (the fabric owns a partial burst and must see
+     * `last`); staged copy write-outs are dropped. done() becomes true
+     * once every in-flight response lands — tenant teardown races this
+     * drain in the churn workload.
+     */
+    void abort(Cycle now);
+
+    /**
+     * Per-burst completion hook: called with the burst's latency and
+     * whether it was denied, at the same points the burst_latency stat
+     * samples. Lets a workload keep its own deterministic per-port
+     * latency series without a registry detour.
+     */
+    void
+    setBurstObserver(std::function<void(Cycle latency, bool denied)> fn)
+    {
+        burst_observer_ = std::move(fn);
+    }
+
     bool done() const;
 
     /** Cycle the final response arrived (valid once done()). */
@@ -95,8 +126,10 @@ class DmaEngine : public DmaMaster
 
     DmaJob job_;
     bool done_ = true;
+    bool aborted_ = false;
     Cycle started_at_ = 0;
     Cycle completed_at_ = 0;
+    std::function<void(Cycle, bool)> burst_observer_;
 
     std::uint64_t issued_bytes_ = 0;    //!< request stream progress
     std::uint64_t completed_bytes_ = 0; //!< fully-acknowledged bytes

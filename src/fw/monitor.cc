@@ -38,6 +38,14 @@ SecureMonitor::SecureMonitor(iopmp::SIopmp *unit, mem::MmioBus *mmio,
     SIOPMP_ASSERT(unit_ && mmio_, "monitor needs hardware handles");
     entry_used_.assign(unit_->config().num_entries, false);
 
+    st_cold_switch_cycles_ = &stats_.distribution("cold_switch_cycles");
+    st_promotions_ = &stats_.scalar("promotions");
+    st_demotions_ = &stats_.scalar("demotions");
+    st_cam_evictions_ = &stats_.scalar("cam_evictions");
+    st_evict_save_failures_ = &stats_.scalar("evict_save_failures");
+    st_demote_save_failures_ = &stats_.scalar("demote_save_failures");
+    st_mounted_cold_flushes_ = &stats_.scalar("mounted_cold_flushes");
+
     unit_->setIrqHandler(
         [this](const iopmp::Irq &irq) { irq_ctrl_.raise(irq); });
     irq_ctrl_.setHandler(iopmp::IrqKind::Violation,
@@ -174,21 +182,21 @@ SecureMonitor::destroyTee(OwnerId owner, Cycle now)
         result.cost += unmapped.cost;
     }
 
-    // Demote the TEE's devices and drop their remount records: a
-    // destroyed domain's rules must never come back via a cold mount.
+    // Flush every trace of the TEE's devices out of the hardware and
+    // the extended table: a destroyed domain's rules must never
+    // service another DMA — not even one already in flight. Unlike
+    // demoteToCold there is nothing to preserve, so the flushes cannot
+    // fail on a full extended table.
     for (CapId cap_id : domain.deviceCaps()) {
         auto cap = caps_.get(cap_id);
         if (!cap)
             continue;
-        if (hotSid(cap->device)) {
-            const FwResult demoted = demoteToCold(cap->device, now);
-            result.cost += demoted.cost;
-        }
+        if (auto sid = hotSid(cap->device))
+            result.cost += evictHot(cap->device, *sid);
+        if (unit_->mountedCold() == cap->device)
+            result.cost += flushMountedCold(cap->device);
         if (ext_table_)
             ext_table_->remove(cap->device);
-        if (unit_->mountedCold() == cap->device) {
-            result.cost += mmioWrite(kEsid, 0);
-        }
         miss_counts_.erase(cap->device);
     }
 
@@ -322,11 +330,55 @@ SecureMonitor::deviceUnmap(OwnerId owner, DeviceId device,
     if (it == mappings.end())
         return result;
 
-    result.cost += blockSid(it->sid, device);
-    result.cost += writeEntry(entry_index, iopmp::Entry::off());
-    result.cost += unblockSid(it->sid);
+    // The mapping's recorded SID/entry are a snapshot from map time:
+    // the device may since have been evicted to the extended table,
+    // remounted cold, or re-promoted into a different CAM row.
+    // Resolve the rule's *current* home before touching hardware —
+    // blindly reusing the snapshot would block the wrong SID and
+    // write off another tenant's entry.
+    if (auto sid = hotSid(device)) {
+        auto [lo, hi] = mdWindow(*sid);
+        unsigned index = hi;
+        for (unsigned i = lo; i < hi; ++i) {
+            if (!entry_used_[i])
+                continue;
+            const iopmp::Entry &entry = unit_->entryTable().get(i);
+            if (entry.base() == it->range.base &&
+                entry.size() == it->range.size &&
+                entry.perm() == it->perm) {
+                index = i;
+                break;
+            }
+        }
+        if (index < hi) {
+            result.cost += blockSid(*sid, device);
+            result.cost += writeEntry(index, iopmp::Entry::off());
+            result.cost += unblockSid(*sid);
+            entry_used_[index] = false;
+        }
+    } else if (ext_table_) {
+        // Evicted (or never-promoted) device: edit its extended-table
+        // record instead, and rewrite MD62's window if that record is
+        // currently mounted through the eSID slot.
+        unsigned loads = 0;
+        if (auto record = ext_table_->find(device, &loads)) {
+            result.cost += loads * cfg_.ext_load_cost;
+            auto &entries = record->entries;
+            auto match = std::find_if(
+                entries.begin(), entries.end(),
+                [&](const iopmp::Entry &entry) {
+                    return entry.base() == it->range.base &&
+                           entry.size() == it->range.size &&
+                           entry.perm() == it->perm;
+                });
+            if (match != entries.end())
+                entries.erase(match);
+            ext_table_->add(*record); // replace path: reuses the slot
+            if (unit_->mountedCold() == device)
+                result.cost += remountCold(*record);
+        }
+    }
 
-    entry_used_[entry_index] = false;
     mappings.erase(it);
     result.ok = true;
     result.entry_index = entry_index;
@@ -432,9 +484,11 @@ SecureMonitor::promoteToHot(DeviceId device, Cycle now)
     // the extended table (their rules must be preserved).
     std::optional<DeviceId> evicted;
     const Sid sid = unit_->cam().insertLru(device, &evicted);
-    if (evicted && ext_table_) {
+    if (evicted) {
         // Save the evicted device's current window to the extended
-        // table before the new occupant overwrites it.
+        // table before the new occupant overwrites it. If the save
+        // fails (table full) the promotion is rolled back — losing
+        // the victim's rules would make it permanently unmountable.
         auto [lo, hi] = mdWindow(sid);
         iopmp::MountRecord record;
         record.esid = *evicted;
@@ -444,7 +498,23 @@ SecureMonitor::promoteToHot(DeviceId device, Cycle now)
             if (entry_used_[i])
                 record.entries.push_back(unit_->entryTable().get(i));
         }
-        ext_table_->add(record);
+        if (!ext_table_ || !ext_table_->add(record)) {
+            unit_->cam().set(sid, *evicted); // undo the row rebind
+            ++*st_evict_save_failures_;
+            return result;
+        }
+        // Flush the victim's entries under its block so the new
+        // occupant cannot inherit stale rules when its own record
+        // fills less of the window.
+        result.cost += blockSid(sid, *evicted);
+        for (unsigned i = lo; i < hi; ++i) {
+            if (entry_used_[i]) {
+                result.cost += writeEntry(i, iopmp::Entry::off());
+                entry_used_[i] = false;
+            }
+        }
+        result.cost += unblockSid(sid);
+        ++*st_cam_evictions_;
         ++result.cost; // bookkeeping marker; loads accounted on mount
     }
 
@@ -472,7 +542,15 @@ SecureMonitor::promoteToHot(DeviceId device, Cycle now)
         }
     }
 
+    // A device promoted out of the eSID slot leaves the slot and
+    // MD62's window stale: the cold copy of its rules would outlive
+    // the hot ones (a later unmap edits only the hot window). Flush
+    // the slot so the CAM row is the rules' single home.
+    if (unit_->mountedCold() == device)
+        result.cost += flushMountedCold(device);
+
     miss_counts_.erase(device);
+    ++*st_promotions_;
     result.ok = true;
     return result;
 }
@@ -486,24 +564,88 @@ SecureMonitor::demoteToCold(DeviceId device, Cycle now)
     if (!sid)
         return result;
 
-    // Preserve the device's rules in the extended table.
+    // Preserve the device's rules in the extended table *before*
+    // touching the hardware: if the table is full the demotion fails
+    // cleanly instead of silently dropping the rules (which would
+    // leave the device permanently unmountable).
     auto [lo, hi] = mdWindow(*sid);
     iopmp::MountRecord record;
     record.esid = device;
     record.md_bitmap = std::uint64_t{1} << (unit_->config().num_mds - 1);
     for (unsigned i = lo; i < hi; ++i) {
-        if (entry_used_[i]) {
+        if (entry_used_[i])
             record.entries.push_back(unit_->entryTable().get(i));
-            result.cost += writeEntry(i, iopmp::Entry::off());
-            entry_used_[i] = false;
-        }
     }
-    if (ext_table_)
-        ext_table_->add(record);
+    if (!ext_table_ || !ext_table_->add(record)) {
+        ++*st_demote_save_failures_;
+        return result;
+    }
 
-    result.cost += mmioWrite(kCamBase + *sid * 8, 0); // invalidate row
+    result.cost += evictHot(device, *sid);
+    // Reset the implicit-promotion counter: a demoted device must
+    // re-earn its CAM row with fresh misses, not ride pre-demotion
+    // ones straight back in.
+    miss_counts_.erase(device);
+    ++*st_demotions_;
     result.ok = true;
     return result;
+}
+
+Cycle
+SecureMonitor::evictHot(DeviceId device, Sid sid)
+{
+    Cycle cost = blockSid(sid, device);
+    auto [lo, hi] = mdWindow(sid);
+    for (unsigned i = lo; i < hi; ++i) {
+        if (!entry_used_[i])
+            continue;
+        cost += writeEntry(i, iopmp::Entry::off());
+        entry_used_[i] = false;
+    }
+    cost += mmioWrite(kCamBase + sid * 8, 0); // invalidate the row
+    cost += unblockSid(sid);
+    return cost;
+}
+
+Cycle
+SecureMonitor::flushMountedCold(DeviceId device)
+{
+    const Sid cold_sid = unit_->coldSid();
+    const bool was_blocked = unit_->blockBitmap().blocked(cold_sid);
+    Cycle cost = 0;
+    if (!was_blocked)
+        cost += blockSid(cold_sid, device);
+    auto [lo, hi] = mdWindow(cold_sid);
+    for (unsigned i = lo; i < hi; ++i)
+        cost += writeEntry(i, iopmp::Entry::off());
+    cost += mmioWrite(kEsid, 0);
+    if (!was_blocked)
+        cost += unblockSid(cold_sid);
+    ++*st_mounted_cold_flushes_;
+    return cost;
+}
+
+Cycle
+SecureMonitor::remountCold(const iopmp::MountRecord &record)
+{
+    const Sid cold_sid = unit_->coldSid();
+    const bool was_blocked = unit_->blockBitmap().blocked(cold_sid);
+    Cycle cost = 0;
+    if (!was_blocked)
+        cost += blockSid(cold_sid, record.esid);
+    auto [lo, hi] = mdWindow(cold_sid);
+    unsigned i = lo;
+    for (const auto &entry : record.entries) {
+        if (i >= hi)
+            break;
+        cost += writeEntry(i, entry);
+        ++i;
+    }
+    for (; i < hi; ++i)
+        cost += writeEntry(i, iopmp::Entry::off());
+    if (!was_blocked)
+        cost += unblockSid(cold_sid);
+    return cost;
 }
 
 Cycle
@@ -549,6 +691,7 @@ SecureMonitor::coldSwitch(DeviceId device, Cycle now)
         const FwResult promoted = promoteToHot(device, now);
         cost += promoted.cost;
     }
+    st_cold_switch_cycles_->sample(static_cast<double>(cost));
     return cost;
 }
 

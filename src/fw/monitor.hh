@@ -40,6 +40,7 @@
 #include "iopmp/mountable.hh"
 #include "iopmp/siopmp.hh"
 #include "mem/mmio.hh"
+#include "sim/stats.hh"
 
 namespace siopmp {
 namespace fw {
@@ -186,6 +187,14 @@ class SecureMonitor
     std::uint64_t coldSwitches() const { return cold_switches_; }
     std::uint64_t violationsHandled() const { return violations_; }
 
+    /**
+     * Lifecycle statistics: "cold_switch_cycles" distribution (full
+     * handler cost per cold switch, implicit promotions included) plus
+     * promotion/demotion/eviction counters. Registered with
+     * stats::Registry::global() like every component group.
+     */
+    stats::Group &statsGroup() { return stats_; }
+
     /** Hot SID for a device, if currently assigned. */
     std::optional<Sid> hotSid(DeviceId device) const;
 
@@ -205,6 +214,32 @@ class SecureMonitor
 
     /** Cold switch: mount @p device from the extended table. */
     Cycle coldSwitch(DeviceId device, Cycle now);
+
+    /**
+     * Flush a hot device out of the hardware: write off its used
+     * window entries and invalidate its CAM row, all under the per-SID
+     * block. The caller decides what happens to the rules (preserve
+     * them in the extended table *before* calling, or drop them on TEE
+     * destruction) — this helper only guarantees no stale entry
+     * survives in the window for the next occupant to inherit.
+     */
+    Cycle evictHot(DeviceId device, Sid sid);
+
+    /**
+     * Clear the eSID slot while @p device is mounted there: write off
+     * MD62's whole entry window and zero the eSID register under the
+     * cold SID's block. A pre-existing block (e.g. the CPU's in-flight
+     * interrupt-handler latency window) is preserved — only a bracket
+     * this call opened is closed.
+     */
+    Cycle flushMountedCold(DeviceId device);
+
+    /**
+     * Rewrite MD62's window from @p record (unused tail written off)
+     * while its device stays mounted, preserving any pre-existing
+     * block like flushMountedCold().
+     */
+    Cycle remountCold(const iopmp::MountRecord &record);
 
     Cycle handleViolation(const iopmp::Irq &irq, Cycle now);
     Cycle handleSidMissing(const iopmp::Irq &irq, Cycle now);
@@ -234,6 +269,15 @@ class SecureMonitor
 
     std::uint64_t cold_switches_ = 0;
     std::uint64_t violations_ = 0;
+
+    stats::Group stats_{"monitor"};
+    stats::Distribution *st_cold_switch_cycles_;
+    stats::Scalar *st_promotions_;
+    stats::Scalar *st_demotions_;
+    stats::Scalar *st_cam_evictions_;
+    stats::Scalar *st_evict_save_failures_;
+    stats::Scalar *st_demote_save_failures_;
+    stats::Scalar *st_mounted_cold_flushes_;
 };
 
 } // namespace fw

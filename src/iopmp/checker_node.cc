@@ -232,9 +232,20 @@ CheckerNode::dispatchRequests(Cycle now)
     // SID-missing handling: while the monitor mounts the device, poll
     // without re-raising the interrupt.
     if (pending_miss_ && *pending_miss_ == beat.device) {
-        if (!unit_->resolveSid(beat.device))
+        if (unit_->resolveSid(beat.device)) {
+            pending_miss_.reset();
+        } else if (unit_->configEpoch() != pending_miss_epoch_) {
+            // The monitor did reconfigure since our raise, yet our SID
+            // is still unresolved: a concurrent miss's mount took the
+            // eSID slot (its interrupt drained in the same batch as
+            // ours). Clear the edge trigger and fall through to
+            // authorize again, re-raising SidMiss — otherwise two cold
+            // devices trading the slot stall each other forever.
+            pending_miss_.reset();
+            ++stats_.scalar("sid_miss_rearms");
+        } else {
             return; // still cold and unmounted; stall
-        pending_miss_.reset();
+        }
     }
 
     const AuthResult auth =
@@ -244,6 +255,7 @@ CheckerNode::dispatchRequests(Cycle now)
     switch (auth.status) {
       case AuthStatus::SidMiss:
         pending_miss_ = beat.device;
+        pending_miss_epoch_ = unit_->configEpoch();
         ++stats_.scalar("sid_miss_stalls");
         if (trace::on()) {
             trace::Event ev;

@@ -149,6 +149,11 @@ class CheckerNode : public Tickable
     //! Edge trigger for SID-missing: avoid re-raising the interrupt
     //! every cycle while the monitor services the mount.
     std::optional<DeviceId> pending_miss_;
+    //! sIOPMP config epoch captured when the miss was raised. If the
+    //! config changes without resolving our SID, a concurrent miss's
+    //! mount evicted ours from the eSID slot — the stall must re-arm
+    //! (re-authorize and re-raise) or two cold devices livelock.
+    std::uint64_t pending_miss_epoch_ = 0;
     //! Open blocking window (§4.1): cycle the head-of-line beat first
     //! stalled on its SID block bit; closed when the head resolves.
     std::optional<Cycle> block_window_start_;

@@ -170,6 +170,9 @@ void
 DomainScheduler::onRemove(Tickable *component)
 {
     component->pending_wake_.store(false, std::memory_order_relaxed);
+    late_evals_.erase(
+        std::remove(late_evals_.begin(), late_evals_.end(), component),
+        late_evals_.end());
     if (dirty_ || component->domain_ >= domains_.size())
         return;
     TickDomain &dom = domains_[component->domain_];
@@ -212,6 +215,20 @@ DomainScheduler::wake(Tickable *component)
         }
         return;
     }
+    // Main-section wake from a deferred shared operation (or from a
+    // late evaluation it triggered): in the sequential loop this side
+    // effect ran inline at the issuer's slot, so a target registered
+    // *after* the issuer that skipped this cycle's evaluate phase
+    // would still have been ticked this cycle — its slot had not been
+    // reached yet. Queue it for a late evaluation so the parallel
+    // schedule stays bit-identical (fast-forward can park exactly such
+    // components, e.g. an idle CPU woken by an IRQ raise).
+    if (ctx.sched == this && ctx.dom == &main_stage_ &&
+        component->last_eval_ != cycle_now_ &&
+        component->order_ > ctx.order &&
+        std::find(late_evals_.begin(), late_evals_.end(), component) ==
+            late_evals_.end())
+        late_evals_.push_back(component);
     wakeDirect(component);
 }
 
@@ -244,6 +261,7 @@ DomainScheduler::runEvaluate(unsigned tid, Cycle now)
         for (Tickable *c : dom.members) {
             if (!ff || c->active_) {
                 ctx.order = c->order_;
+                c->last_eval_ = now;
                 c->evaluate(now);
             }
         }
@@ -341,6 +359,35 @@ DomainScheduler::mainSection(Cycle now)
         }
         ctx = ExecCtx{};
         ops_scratch_.clear();
+    }
+
+    // 2b. Late evaluations: components the replayed operations woke
+    // that skipped this cycle's evaluate phase but are registered
+    // after their waker. The sequential loop would still have ticked
+    // them this cycle — the inline wake landed before their slot in
+    // the tick order — so run them now, in ascending registration
+    // order (the order the sequential pass would have reached them).
+    // A late evaluation may queue further ones; those are always
+    // later-ordered, so min-first processing replays the cascade in
+    // sequential order.
+    if (!late_evals_.empty()) {
+        ExecCtx &ctx = tls();
+        ctx.sched = this;
+        ctx.dom = &main_stage_;
+        while (!late_evals_.empty()) {
+            auto it = std::min_element(
+                late_evals_.begin(), late_evals_.end(),
+                [](const Tickable *a, const Tickable *b) {
+                    return a->order_ < b->order_;
+                });
+            Tickable *c = *it;
+            late_evals_.erase(it);
+            ctx.order = c->order_;
+            c->last_eval_ = now;
+            c->evaluate(now);
+            c->advance(now);
+        }
+        ctx = ExecCtx{};
     }
 
     // 3. Merge the per-domain trace buffers into one coherent stream:

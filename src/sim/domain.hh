@@ -182,6 +182,12 @@ class DomainScheduler
     //! Main-section scratch (reused across cycles).
     std::vector<TickDomain::DeferredOp> ops_scratch_;
     std::vector<TickDomain::TraceStage> trace_scratch_;
+    //! Components woken by a deferred shared operation that skipped
+    //! this cycle's evaluate phase but are registered after the waker:
+    //! the sequential loop would still evaluate them this cycle (the
+    //! inline wake lands before their slot in the tick order), so the
+    //! main section runs them late (see mainSection()).
+    std::vector<Tickable *> late_evals_;
 };
 
 } // namespace siopmp

@@ -123,6 +123,14 @@ class Tickable
     //! a wake during the advance phase (whose cause is still invisible
     //! to quiescent(), e.g. a staged fifo push) is never lost.
     Cycle wake_cycle_ = 0;
+    //! Cycle of the last evaluate() issued by the parallel engine.
+    //! Lets the main section tell whether a component woken by a
+    //! deferred shared operation already ran this cycle — if not, and
+    //! it is registered after the waker, the sequential loop would
+    //! still have evaluated it this cycle (the wake lands before its
+    //! slot in the tick order), so the scheduler owes it a late
+    //! evaluation (see DomainScheduler::mainSection).
+    Cycle last_eval_ = kNever;
 };
 
 } // namespace siopmp

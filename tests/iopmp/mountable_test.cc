@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "iopmp/mountable.hh"
 
 namespace siopmp {
@@ -136,6 +139,79 @@ TEST_F(ExtendedTableTest, LoadsAccumulate)
     table.find(5);
     table.find(5);
     EXPECT_EQ(table.totalLoads() - before, 2 * (3 + 2 * 3));
+}
+
+TEST_F(ExtendedTableTest, ReplaceAtFullCapacitySucceeds)
+{
+    // Fill every slot, then replace an existing record: the replace
+    // path reuses the record's own slot and must not be rejected by
+    // (or consume) the exhausted free list.
+    const std::size_t capacity = 0x10000u / ((3 + 8 * 3) * 8);
+    for (DeviceId d = 0; d < capacity; ++d)
+        ASSERT_TRUE(table.add(record(d, 1)));
+    ASSERT_FALSE(table.add(record(9999, 1)));
+
+    ASSERT_TRUE(table.add(record(7, 6)));
+    EXPECT_EQ(table.numRecords(), capacity);
+    auto found = table.find(7);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(found->entries.size(), 6u);
+    // Still exactly full: the replace leaked no slot either way.
+    EXPECT_FALSE(table.add(record(9999, 1)));
+    EXPECT_TRUE(table.remove(7));
+    EXPECT_TRUE(table.add(record(9999, 1)));
+}
+
+TEST_F(ExtendedTableTest, ReplaceChurnKeepsSlotAccountingExact)
+{
+    // A record rewritten many times (the unmap-while-cold edit path
+    // does this once per unmap) must occupy one slot forever.
+    for (unsigned round = 0; round < 100; ++round)
+        ASSERT_TRUE(table.add(record(42, 1 + round % 8)));
+    EXPECT_EQ(table.numRecords(), 1u);
+    auto found = table.find(42);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(found->entries.size(), 1u + 99u % 8u);
+
+    // Every other slot is still available.
+    const std::size_t capacity = 0x10000u / ((3 + 8 * 3) * 8);
+    for (DeviceId d = 1000; d < 1000 + capacity - 1; ++d)
+        ASSERT_TRUE(table.add(record(d, 1))) << d;
+    EXPECT_FALSE(table.add(record(9999, 1)));
+}
+
+TEST_F(ExtendedTableTest, RegionSizeFloorsToWholeRecords)
+{
+    // A region that is not a record multiple holds floor(size /
+    // recordBytes) records; the partial tail slot must not be used.
+    mem::Backing small_backing;
+    ExtendedTable small(&small_backing, {0x7000'0000, 216 * 2 + 100}, 8);
+    EXPECT_TRUE(small.add(record(1, 8)));
+    EXPECT_TRUE(small.add(record(2, 8)));
+    EXPECT_FALSE(small.add(record(3, 1)));
+    EXPECT_EQ(small.find(2)->entries.size(), 8u);
+}
+
+TEST_F(ExtendedTableTest, ConcurrentFindersCountLoadsExactly)
+{
+    // Regression (TSan): total_loads_ is bumped from const find() by
+    // checker-node replicas in different tick domains. The counter
+    // must be atomic and the sum exact.
+    ASSERT_TRUE(table.add(record(5, 2))); // 3 + 2 * 3 = 9 loads
+    const auto before = table.totalLoads();
+    constexpr unsigned kThreads = 4;
+    constexpr unsigned kFindsPerThread = 500;
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([this] {
+            for (unsigned i = 0; i < kFindsPerThread; ++i)
+                ASSERT_TRUE(table.find(5).has_value());
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(table.totalLoads() - before,
+              std::uint64_t{kThreads} * kFindsPerThread * 9);
 }
 
 TEST_F(ExtendedTableTest, NapotEntriesSurviveSerialization)

@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Smoke harness for the benchmarks: configure, build, run the tier-1
-# test suite, run sim_core_micro and checker_micro with small budgets,
-# validate the BENCH_sim_core.json / BENCH_checker.json schemas, and
-# validate the Chrome trace-event schema of a traced dma_attack_demo
-# run.
+# test suite, run sim_core_micro, checker_micro and churn_fleet with
+# small budgets, validate the BENCH_sim_core.json / BENCH_checker.json
+# / BENCH_churn.json schemas, and validate the Chrome trace-event
+# schema of a traced dma_attack_demo run.
 #
 # Usage: tools/run_bench.sh [build-dir] [iters] [mode]
 #        tools/run_bench.sh --sanitize [build-dir]
@@ -51,11 +51,23 @@ if [ "${1:-}" = "--sanitize" ]; then
     "$ASAN_DIR/tools/siopmp_fuzz" --cases 300 --profile churn \
         --accel plans --seed 2
 
+    echo "== tenant-churn workload leg (ASan+UBSan) =="
+    cmake --build "$ASAN_DIR" -j --target test_workloads
+    "$ASAN_DIR/tests/test_workloads" --gtest_filter='Churn.*'
+
     echo "== configure + build (TSan) =="
     cmake -B "$TSAN_DIR" -S "$REPO_ROOT" -DSIOPMP_TSAN=ON
-    cmake --build "$TSAN_DIR" -j --target test_parallel siopmp_fuzz
+    cmake --build "$TSAN_DIR" -j --target test_parallel siopmp_fuzz \
+        test_workloads test_iopmp_structs
     echo "== parallel differential suite (TSan) =="
     "$TSAN_DIR/tests/test_parallel"
+    echo "== concurrent-structure regressions (TSan) =="
+    # Covers the atomic ExtendedTable::total_loads_ fix: concurrent
+    # finders from multiple threads must count loads exactly.
+    "$TSAN_DIR/tests/test_iopmp_structs" --gtest_filter='*Concurrent*'
+    echo "== tenant-churn workload leg (TSan, parallel engine) =="
+    "$TSAN_DIR/tests/test_workloads" \
+        --gtest_filter='Churn.BitIdenticalUnderParallelEngine:Churn.ConcurrentColdMissesBothComplete'
     echo "== bounded fuzz smoke (TSan) =="
     "$TSAN_DIR/tools/siopmp_fuzz" --cases 100 --seed 1
     "$TSAN_DIR/tools/siopmp_fuzz" --cases 100 --profile churn --seed 1
@@ -222,6 +234,64 @@ print("checker json schema OK (min speedup %.1fx; min churn@1:100 %.1fx)" %
 EOF
     # python3 unavailable: the grep-based key check above already ran.
     echo "checker json schema OK (grep-only: python3 unavailable)"
+}
+
+echo "== churn_fleet (BENCH_churn.json) =="
+CHURN_JSON="$REPO_ROOT/BENCH_churn.json"
+# The binary itself enforces the churn-rate and bit-identity gates
+# (exits nonzero if the headline point sustains < 1000 TEE/s or the
+# 4-thread parallel run diverges from the sequential fingerprint).
+"$BUILD_DIR/bench/churn_fleet" "$CHURN_JSON"
+
+echo "== BENCH_churn.json schema check =="
+for key in \
+    '"benchmark"' \
+    '"bit_identical_threads"' \
+    '"series"' \
+    '"churn_per_sim_s"' \
+    '"check_p50"' \
+    '"check_p99"' \
+    '"cold_switch_p99"' \
+    '"block_window_hist"' \
+    '"cam_evictions"' \
+    '"mounted_cold_flushes"' \
+    '"invariant_violations"' \
+    '"fingerprint"'; do
+    grep -q "$key" "$CHURN_JSON" || {
+        echo "schema check FAILED: missing $key in $CHURN_JSON" >&2
+        exit 1
+    }
+done
+
+python3 - "$CHURN_JSON" <<'EOF' 2>/dev/null || {
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["benchmark"] == "churn_fleet"
+assert d["bit_identical_threads"] == [0, 4]
+series = d["series"]
+assert len(series) >= 4, len(series)
+for p in series:
+    assert p["tenants"] > 0 and p["devices"] > 0, p
+    # Acceptance: device population >= 4x (CAM rows + eSID slot) = 16.
+    assert p["devices"] >= 16, p
+    assert p["cycles"] > 0 and p["churn_per_sim_s"] > 0, p
+    assert p["check_p99"] >= p["check_p50"] > 0, p
+    assert p["invariant_violations"] == 0, p
+    assert int(p["fingerprint"], 16) != 0, p
+    hist = p["block_window_hist"]
+    assert isinstance(hist, list) and sum(hist) == p["block_windows"], p
+# Acceptance gate: the headline point sustains >= 1000 TEE
+# create/destroy cycles per simulated second.
+head = series[0]
+assert head["churn_per_sim_s"] >= 1000.0, head
+# The all-hot contention cell must actually evict live CAM entries.
+assert any(p["cam_evictions"] > 0 for p in series), "no CAM churn"
+assert any(p["sid_misses"] > 0 for p in series), "no cold misses"
+print("churn json schema OK (headline %.0f TEE/s over %d points)" %
+      (head["churn_per_sim_s"], len(series)))
+EOF
+    # python3 unavailable: the grep-based key check above already ran.
+    echo "churn json schema OK (grep-only: python3 unavailable)"
 }
 
 echo "== trace schema check (dma_attack_demo --trace) =="

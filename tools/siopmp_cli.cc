@@ -12,6 +12,9 @@
  *   siopmp-cli memcached [--qps X] [--scheme none|siopmp|strict]
  *   siopmp-cli hotcold   [--ratio N] [--mismatched] [--bursts N]
  *                        [--threads N]
+ *   siopmp-cli churn     [--tenants N] [--devices N] [--ports N]
+ *                        [--arrival X] [--cold X] [--seed N]
+ *                        [--threads N]
  *   siopmp-cli freq      [--entries N] [--stages N] [--kind lin|tree]
  *                        [--arity N]
  *
@@ -48,6 +51,7 @@
 #include "sim/trace.hh"
 #include "timing/frequency.hh"
 #include "timing/resource.hh"
+#include "workloads/churn.hh"
 #include "workloads/hotcold.hh"
 #include "workloads/memcached.hh"
 #include "workloads/network.hh"
@@ -193,6 +197,41 @@ cmdHotCold(const Args &args)
 }
 
 int
+cmdChurn(const Args &args)
+{
+    wl::ChurnConfig cfg;
+    cfg.tenants = static_cast<unsigned>(args.number("--tenants", 400));
+    cfg.devices = static_cast<unsigned>(args.number("--devices", 64));
+    cfg.ports = static_cast<unsigned>(args.number("--ports", 4));
+    cfg.seed = static_cast<std::uint64_t>(args.number("--seed", 1));
+    cfg.sim_threads = static_cast<unsigned>(args.number("--threads", 0));
+    const std::string arrival = args.value("--arrival", "");
+    if (!arrival.empty())
+        cfg.arrival_mean = std::atof(arrival.c_str());
+    const std::string cold = args.value("--cold", "");
+    if (!cold.empty())
+        cfg.cold_fraction = std::atof(cold.c_str());
+    const auto r = wl::runChurn(cfg);
+    std::printf(
+        "churn %llu/%llu tenants over %u devices in %llu cycles "
+        "(%.0f TEE/s): check p50=%.0f p99=%.0f, cold-switch "
+        "p50=%.0f p99=%.0f, %llu misses, %llu promotions, %llu "
+        "evictions, %llu block windows (mean %.1f), fp=%016llx%s\n",
+        static_cast<unsigned long long>(r.tenants_destroyed),
+        static_cast<unsigned long long>(r.tenants_created),
+        cfg.devices, static_cast<unsigned long long>(r.cycles),
+        r.churn_per_sim_s, r.check_p50, r.check_p99, r.cold_switch_p50,
+        r.cold_switch_p99, static_cast<unsigned long long>(r.sid_misses),
+        static_cast<unsigned long long>(r.promotions),
+        static_cast<unsigned long long>(r.cam_evictions),
+        static_cast<unsigned long long>(r.block_windows),
+        r.block_window_mean,
+        static_cast<unsigned long long>(r.fingerprint),
+        r.invariant_violations ? "  [INVARIANT VIOLATIONS]" : "");
+    return r.invariant_violations == 0 ? 0 : 1;
+}
+
+int
 cmdFreq(const Args &args)
 {
     timing::CheckerGeometry geometry;
@@ -225,7 +264,7 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: siopmp-cli <latency|bandwidth|network|memcached|"
-                 "hotcold|freq> [flags]\n"
+                 "hotcold|churn|freq> [flags]\n"
                  "       [--accel off|plans|plans+cache]\n"
                  "       [--trace-out FILE] [--stats-json FILE|-]\n"
                  "run with a command and no flags for sane defaults; see "
@@ -332,6 +371,8 @@ main(int argc, char **argv)
         return cmdMemcached(args);
     if (cmd == "hotcold")
         return cmdHotCold(args);
+    if (cmd == "churn")
+        return cmdChurn(args);
     if (cmd == "freq")
         return cmdFreq(args);
     usage();

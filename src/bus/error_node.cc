@@ -19,7 +19,7 @@ ErrorNode::ErrorNode(std::string name, Link *up)
 bool
 ErrorNode::quiescent(Cycle) const
 {
-    return up_->a.empty();
+    return up_->a.settled();
 }
 
 void

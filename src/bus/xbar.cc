@@ -43,10 +43,10 @@ Xbar::quiescent(Cycle) const
     // No beats to forward in either direction. A mid-flight burst lock
     // with empty channels is still a no-op: the lock only matters once
     // the granted master pushes its next beat, which wakes us.
-    if (!down_->d.empty())
+    if (!down_->d.settled())
         return false;
     for (const auto *link : up_) {
-        if (!link->a.empty())
+        if (!link->a.settled())
             return false;
     }
     return true;

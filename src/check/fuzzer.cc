@@ -567,11 +567,57 @@ DifferentialFuzzer::replay(const std::vector<FuzzOp> &ops, bool emit_trace)
     for (std::size_t i = 0; i < ops.size() && !divergence; ++i) {
         const FuzzOp &op = ops[i];
         switch (op.kind) {
-          case FuzzOp::Kind::Write:
+          case FuzzOp::Kind::Write: {
+            // Destroy-class residue oracle, graduated from the
+            // tenant-churn workload's post-destroy invariants: any
+            // write that unbinds a device — a CAM row invalidate or
+            // overwrite, an eSID unmount or replacement — must leave
+            // the evicted device unreachable through the lookup
+            // structures a DMA check consults. CAM and eSID writes
+            // are never lock-rejected, so the eviction computed here
+            // always happens in a correct DUT.
+            std::optional<DeviceId> cam_evicted, esid_evicted;
+            const Addr cam_end = kCamBase + dut.cam().numRows() * 8;
+            if (op.offset >= kCamBase && op.offset < cam_end &&
+                (op.offset - kCamBase) % 8 == 0) {
+                const Sid row =
+                    static_cast<Sid>((op.offset - kCamBase) / 8);
+                const std::optional<DeviceId> prior =
+                    dut.cam().deviceAt(row);
+                const std::optional<DeviceId> next =
+                    (op.value & kBit63)
+                        ? std::optional<DeviceId>(op.value & ~kBit63)
+                        : std::nullopt;
+                if (prior && prior != next)
+                    cam_evicted = prior;
+            } else if (op.offset == kEsid) {
+                const std::optional<DeviceId> prior = dut.mountedCold();
+                const std::optional<DeviceId> next =
+                    (op.value & kBit63)
+                        ? std::optional<DeviceId>(op.value & ~kBit63)
+                        : std::nullopt;
+                if (prior && prior != next)
+                    esid_evicted = prior;
+            }
             if (!hook_ || !hook_(dut, op))
                 dut.mmioWrite(op.offset, op.value);
             oracle.writeReg(op.offset, op.value);
-            if (std::string audit = auditor.auditAndSync(); !audit.empty())
+            if (cam_evicted && dut.cam().peek(*cam_evicted)) {
+                divergence = Divergence{
+                    i, op.toString() +
+                           ": residue audit: evicted device " +
+                           std::to_string(*cam_evicted) +
+                           " still reachable through the CAM"};
+            } else if (esid_evicted &&
+                       dut.mountedCold() == esid_evicted) {
+                divergence = Divergence{
+                    i, op.toString() +
+                           ": residue audit: unmounted device " +
+                           std::to_string(*esid_evicted) +
+                           " still in the eSID slot"};
+            }
+            if (std::string audit = auditor.auditAndSync();
+                !audit.empty() && !divergence)
                 divergence = Divergence{i, op.toString() + ": " + audit};
             if (emit_trace && trace::on()) {
                 trace::Event event;
@@ -585,6 +631,7 @@ DifferentialFuzzer::replay(const std::vector<FuzzOp> &ops, bool emit_trace)
                 trace::emit(event);
             }
             break;
+          }
           case FuzzOp::Kind::Read: {
             const std::uint64_t got = dut.mmioRead(op.offset);
             const std::uint64_t want = oracle.readReg(op.offset);
@@ -811,6 +858,26 @@ makeBlockHoleInjection()
         // bitmap was a single 64-bit register.
         return op.offset >= kBlockBitmap + 8 &&
                op.offset < kBlockBitmap + Addr{words} * 8;
+    };
+    return injection;
+}
+
+FaultInjection
+makeUnbindDropInjection()
+{
+    FaultInjection injection;
+    injection.hook = [](iopmp::SIopmp &dut, const FuzzOp &op) {
+        // Destroy-class writes fall into the void: the CAM row keeps
+        // its binding, the eSID slot keeps its mount. The residue
+        // oracle must flag the evicted device at the very op that
+        // should have unbound it.
+        const Addr cam_end = kCamBase + Addr{dut.cam().numRows()} * 8;
+        const bool cam_invalidate = op.offset >= kCamBase &&
+                                    op.offset < cam_end &&
+                                    (op.value & kBit63) == 0;
+        const bool esid_unmount =
+            op.offset == kEsid && (op.value & kBit63) == 0;
+        return cam_invalidate || esid_unmount;
     };
     return injection;
 }

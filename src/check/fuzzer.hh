@@ -191,6 +191,15 @@ FaultInjection makeLockBypassInjection();
  */
 FaultInjection makeBlockHoleInjection();
 
+/**
+ * Drop every destroy-class write — CAM row invalidates and eSID
+ * unmounts — on the floor. The replay loop's residue oracle (the
+ * tenant-churn post-destroy invariants, run after every unbinding
+ * write) must flag the evicted device at the dropped op itself, not
+ * cycles later when a check happens to hit the stale binding.
+ */
+FaultInjection makeUnbindDropInjection();
+
 } // namespace check
 } // namespace siopmp
 

@@ -41,7 +41,7 @@ Accelerator::quiescent(Cycle) const
     // An active layer keeps the accelerator hot across all phases
     // (issue stalls, read waits, ack waits); only a finished layer with
     // drained responses sleeps.
-    return done_ && link_->d.empty();
+    return done_ && link_->d.settled();
 }
 
 void

@@ -88,7 +88,7 @@ DmaEngine::abort(Cycle now)
 bool
 DmaEngine::quiescent(Cycle) const
 {
-    if (!link_->d.empty())
+    if (!link_->d.settled())
         return false; // responses to collect
     if (done_)
         return true;

@@ -62,7 +62,7 @@ MaliciousDevice::quiescent(Cycle) const
     // Outstanding probes are consumed only from the D channel, whose
     // wake-on-push re-arms the device; unissued probes keep it hot so
     // it polls through A-channel backpressure.
-    return queue_.empty() && link_->d.empty();
+    return queue_.empty() && link_->d.settled();
 }
 
 bool

@@ -58,7 +58,7 @@ Nic::quiescent(Cycle) const
     // Mid-packet wait states keep the NIC hot (conservative: the D wake
     // would cover them, but polling through stalls is simpler to reason
     // about); only a truly idle NIC with drained responses sleeps.
-    return idle() && link_->d.empty();
+    return idle() && link_->d.settled();
 }
 
 void

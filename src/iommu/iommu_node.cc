@@ -28,7 +28,7 @@ IommuNode::quiescent(Cycle) const
 {
     // Table-walk stalls keep pipe_ non-empty, so the node stays hot
     // (polling) until every in-flight beat has drained downstream.
-    return up_->a.empty() && pipe_.empty() && down_->d.empty();
+    return up_->a.settled() && pipe_.empty() && down_->d.settled();
 }
 
 void

@@ -84,12 +84,9 @@ CheckAccel::defaultMode()
         AccelMode mode;
         if (env[0] != '\0' && parseAccelMode(env, &mode))
             return mode;
-        // Unparseable value: fall through to the legacy spelling
-        // rather than silently disabling the layer.
+        // Unparseable value: keep the full default rather than
+        // silently disabling the layer.
     }
-    const char *legacy = std::getenv("SIOPMP_NO_CHECK_CACHE");
-    if (legacy != nullptr && legacy[0] != '\0' && legacy[0] != '0')
-        return AccelMode::Off;
     return AccelMode::PlansAndCache;
 }
 
@@ -97,12 +94,6 @@ void
 CheckAccel::setDefaultMode(std::optional<AccelMode> mode)
 {
     default_mode_override = mode;
-}
-
-bool
-CheckAccel::defaultEnabled()
-{
-    return defaultMode() != AccelMode::Off;
 }
 
 CheckAccel::CheckAccel(const EntryTable &entries, const MdCfgTable &mdcfg,

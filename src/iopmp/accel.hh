@@ -53,8 +53,7 @@
  * Modes. AccelMode selects how much of the layer is active: Off (the
  * checker's own microarchitectural walk), Plans (compiled plans, no
  * verdict cache), PlansAndCache (both; the default). The process-wide
- * default comes from SIOPMP_ACCEL_MODE (off | plans | plans+cache),
- * with the legacy SIOPMP_NO_CHECK_CACHE=1 spelling still honoured,
+ * default comes from SIOPMP_ACCEL_MODE (off | plans | plans+cache)
  * and can be overridden programmatically (setDefaultMode) or per
  * instance (CheckerLogic::setAccelMode / SIopmp::setAccelMode).
  */
@@ -82,9 +81,9 @@ struct CheckResult;
 
 /**
  * How much of the check-path acceleration layer is active. One knob
- * replaces the former trio (SIOPMP_NO_CHECK_CACHE env,
- * SIopmp::setCheckCache, fuzzer --cache), which could only express
- * all-or-nothing.
+ * instead of a boolean: all-or-nothing cannot express "plans without
+ * the verdict cache", which is the interesting mid-point for area
+ * studies.
  */
 enum class AccelMode : std::uint8_t {
     Off,           //!< the checker's own microarchitectural walk
@@ -131,19 +130,15 @@ class CheckAccel final : public TableListener
     /**
      * Process-wide default mode, applied by makeChecker to every
      * factory-built checker. Resolution order: setDefaultMode
-     * override, SIOPMP_ACCEL_MODE (off | plans | plans+cache), the
-     * legacy SIOPMP_NO_CHECK_CACHE veto, then PlansAndCache. Re-read
-     * on every call so tests can toggle the environment.
+     * override, SIOPMP_ACCEL_MODE (off | plans | plans+cache), then
+     * PlansAndCache. Re-read on every call so tests can toggle the
+     * environment.
      */
     static AccelMode defaultMode();
 
     /** Programmatic override of defaultMode (CLIs); nullopt returns
      * resolution to the environment. */
     static void setDefaultMode(std::optional<AccelMode> mode);
-
-    /** @deprecated Use defaultMode(); true iff it is not Off. */
-    [[deprecated("use CheckAccel::defaultMode()")]]
-    static bool defaultEnabled();
 
     // ---- TableListener ---------------------------------------------------
 
@@ -170,19 +165,6 @@ class CheckAccel final : public TableListener
     std::uint64_t planRecompiles() const { return recompiles_->value(); }
     //! Plans currently dirty and awaiting lazy recompile (gauge).
     std::uint64_t stalePlans() const { return stale_plans_count_; }
-
-    /** @deprecated Split into fullFlushes() + partialFlushes(). */
-    [[deprecated("split into fullFlushes()/partialFlushes()")]]
-    std::uint64_t cacheFlushes() const
-    {
-        return full_flushes_->value() + partial_flushes_->value();
-    }
-    /** @deprecated Renamed planRecompiles(). */
-    [[deprecated("renamed planRecompiles()")]]
-    std::uint64_t planInvalidations() const
-    {
-        return recompiles_->value();
-    }
 
     stats::Group &statsGroup() { return stats_; }
 

@@ -119,14 +119,6 @@ class CheckerLogic
         return accel_ ? accel_->mode() : AccelMode::Off;
     }
 
-    /** @deprecated Use setAccelMode(); true maps to PlansAndCache. */
-    [[deprecated("use setAccelMode(AccelMode)")]]
-    void
-    setAccelEnabled(bool on)
-    {
-        setAccelMode(on ? AccelMode::PlansAndCache : AccelMode::Off);
-    }
-
     /**
      * Name the accelerator's stats group (default "check_accel").
      * Per-CheckerNode replicas set "<node>.accel" before enabling the

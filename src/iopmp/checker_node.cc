@@ -78,8 +78,8 @@ CheckerNode::quiescent(Cycle) const
     // Stalled beats (SID miss, per-SID block, backpressure) keep the
     // request pipe non-empty, so the node keeps polling through every
     // stall — only a genuinely empty checker goes to sleep.
-    return up_->a.empty() && down_->d.empty() &&
-           (err_ == nullptr || err_->d.empty()) && req_pipe_.empty() &&
+    return up_->a.settled() && down_->d.settled() &&
+           (err_ == nullptr || err_->d.settled()) && req_pipe_.empty() &&
            resp_pipe_.empty();
 }
 

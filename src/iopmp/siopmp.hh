@@ -150,16 +150,6 @@ class SIopmp : public mem::MmioDevice
     void setAccelMode(AccelMode mode);
     AccelMode accelMode() const { return checker_->accelMode(); }
 
-    /** @deprecated Use setAccelMode(); true maps to PlansAndCache. */
-    [[deprecated("use setAccelMode(AccelMode)")]]
-    void setCheckCache(bool on)
-    {
-        setAccelMode(on ? AccelMode::PlansAndCache : AccelMode::Off);
-    }
-    /** @deprecated Use accelMode(). */
-    [[deprecated("use accelMode()")]]
-    bool checkCacheEnabled() const { return checker_->accelEnabled(); }
-
     /**
      * Monotone configuration epoch: bumped by every MMIO path that can
      * change an authorization outcome (entry commit, SRC2MD, MDCFG,

@@ -98,7 +98,6 @@ EntryTable::set(unsigned idx, const Entry &entry, bool machine_mode)
     if (was_locked)
         entries_[idx].lock();
     ++writes_;
-    ++generation_;
     notifyChanged(idx, idx + 1);
     return true;
 }
@@ -115,9 +114,7 @@ EntryTable::lock(unsigned idx)
     SIOPMP_ASSERT(idx < entries_.size(), "entry index out of range");
     entries_[idx].lock();
     // No listener callback: the lock bit never changes a verdict, only
-    // future writability. The legacy generation counter still bumps
-    // (its historical, conservative contract).
-    ++generation_;
+    // future writability.
 }
 
 void
@@ -126,7 +123,6 @@ EntryTable::resetAll()
     for (auto &entry : entries_)
         entry = Entry::off();
     writes_ = 0;
-    ++generation_;
     notifyReset();
 }
 
@@ -228,13 +224,9 @@ MdCfgTable::setTop(MdIndex md, unsigned top)
             return false;
     }
     const unsigned old_top = tops_[md];
-    if (top == old_top) {
-        // Accepted but a no-op: nothing moved, listeners stay quiet.
-        // The legacy generation still bumps (every *accepted* write
-        // always did).
-        ++generation_;
-        return true;
-    }
+    if (top == old_top)
+        return true; // accepted but a no-op: listeners stay quiet
+
     // Entries in [min, max) of the old/new top change owner. The MDs
     // affected are those whose effective window intersects that range
     // under the OLD tops (they lose entries) or the NEW tops (they
@@ -245,7 +237,6 @@ MdCfgTable::setTop(MdIndex md, unsigned top)
     std::uint64_t md_mask = ownersOf(range_lo, range_hi);
     tops_[md] = top;
     md_mask |= ownersOf(range_lo, range_hi);
-    ++generation_;
     notifyWindows(md_mask, range_lo, range_hi);
     return true;
 }
@@ -326,7 +317,6 @@ MdCfgTable::resetAll()
 {
     for (auto &top : tops_)
         top = 0;
-    ++generation_;
     notifyReset();
 }
 

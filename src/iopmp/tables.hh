@@ -13,8 +13,7 @@
  * TableListener registrations and report *which* entries / memory
  * domains every successful mutation touched — the dirty-set contract
  * consumers with derived state (compiled match plans, verdict caches)
- * build incremental invalidation on. The coarse per-table
- * generation() counters remain as [[deprecated]] shims.
+ * build incremental invalidation on.
  */
 
 #ifndef IOPMP_TABLES_HH
@@ -115,20 +114,6 @@ class EntryTable
     void removeListener(TableListener *listener) const;
 
     /**
-     * Coarse mutation counter, bumped on every successful mutation
-     * (set/clear/lock/resetAll), including direct calls that bypass
-     * the MMIO window.
-     *
-     * @deprecated The generation number only supports all-or-nothing
-     * staleness ("something changed somewhere"). Register a
-     * TableListener instead: it reports *which* entries changed, which
-     * is what incremental invalidation needs. Kept (and still bumped)
-     * for out-of-tree consumers.
-     */
-    [[deprecated("register a TableListener for fine-grained dirty sets")]]
-    std::uint64_t generation() const { return generation_; }
-
-    /**
      * Write entry @p idx. Fails (returns false) if the existing entry
      * is locked and @p machine_mode is false. The default is the
      * unprivileged path: callers acting as the machine-mode monitor
@@ -155,7 +140,6 @@ class EntryTable
 
     std::vector<Entry> entries_;
     std::uint64_t writes_ = 0;
-    std::uint64_t generation_ = 1;
     mutable std::mutex listeners_mu_;
     mutable std::vector<TableListener *> listeners_;
 };
@@ -240,15 +224,6 @@ class MdCfgTable
     void addListener(TableListener *listener) const;
     void removeListener(TableListener *listener) const;
 
-    /**
-     * Coarse mutation counter bumped on every accepted mutation.
-     *
-     * @deprecated See EntryTable::generation — register a
-     * TableListener; onMdWindowsChanged reports the affected MD set.
-     */
-    [[deprecated("register a TableListener for fine-grained dirty sets")]]
-    std::uint64_t generation() const { return generation_; }
-
     void resetAll();
 
   private:
@@ -257,7 +232,6 @@ class MdCfgTable
 
     std::vector<unsigned> tops_;
     unsigned num_entries_;
-    std::uint64_t generation_ = 1;
     mutable std::mutex listeners_mu_;
     mutable std::vector<TableListener *> listeners_;
 };

@@ -135,7 +135,7 @@ MemoryNode::quiescent(Cycle now) const
     // latency) is covered by the wake armed in evaluate(); a response
     // blocked on D-channel backpressure has ready_at <= now and keeps
     // the node hot until it drains.
-    if (!up_->a.empty())
+    if (!up_->a.settled())
         return false;
     if (!acks_.empty() && acks_.front().ready_at <= now)
         return false;

@@ -8,8 +8,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cstdlib>
 #include <utility>
 
+#include "bus/fifo.hh"
 #include "sim/event_queue.hh"
 #include "sim/exec_context.hh"
 #include "sim/logging.hh"
@@ -40,6 +43,10 @@ tls()
     return ctx;
 }
 
+/** The simulated cycle this thread is executing (simctx::currentCycle).
+ * Plain thread-local, set by the loops and per replayed operation. */
+thread_local Cycle tls_cycle = 0;
+
 /** Live schedulers, for installing/clearing the global trace hook. */
 std::atomic<int> live_schedulers{0};
 
@@ -65,6 +72,18 @@ inParallelPhase()
     return tls().in_phase;
 }
 
+Cycle
+currentCycle()
+{
+    return tls_cycle;
+}
+
+void
+setCurrentCycle(Cycle now)
+{
+    tls_cycle = now;
+}
+
 bool
 deferShared(std::function<void()> fn)
 {
@@ -72,7 +91,7 @@ deferShared(std::function<void()> fn)
     if (!ctx.in_phase || ctx.dom == nullptr)
         return false;
     ctx.dom->deferred.push_back(
-        {ctx.order, ctx.dom->next_seq++, std::move(fn)});
+        {tls_cycle, ctx.order, ctx.dom->next_seq++, std::move(fn)});
     return true;
 }
 
@@ -121,6 +140,9 @@ DomainScheduler::DomainScheduler(Simulator &sim, unsigned threads)
       end_barrier_(threads)
 {
     SIOPMP_ASSERT(threads_ >= 1, "scheduler needs at least one thread");
+    const char *timing = std::getenv("SIOPMP_PARALLEL_TIMING");
+    timing_enabled_ = timing != nullptr && timing[0] != '\0' &&
+                      timing[0] != '0';
     if (live_schedulers.fetch_add(1) == 0)
         trace::tracer().setBufferHook(&stageTraceEvent);
     workers_.reserve(threads_ - 1);
@@ -135,8 +157,24 @@ DomainScheduler::~DomainScheduler()
         start_barrier_.arriveAndWait(); // release workers into the stop check
     for (auto &worker : workers_)
         worker.join();
+    // Hand epoch-committed fifos back to inline clocking: without a
+    // scheduler nothing would ever run commitEpoch() again.
+    clearEpochCommitFlags();
     if (live_schedulers.fetch_sub(1) == 1)
         trace::tracer().setBufferHook(nullptr);
+}
+
+void
+DomainScheduler::clearEpochCommitFlags()
+{
+    Simulator *sim = &sim_;
+    bus::FifoBase::forEach([sim](bus::FifoBase *f) {
+        if (!f->epochCommit())
+            return;
+        Tickable *consumer = f->consumer();
+        if (consumer != nullptr && consumer->simulator() == sim)
+            f->setEpochCommit(false);
+    });
 }
 
 void
@@ -163,7 +201,55 @@ DomainScheduler::rebuild()
         if (c->active_)
             ++domains_[c->domain_].num_active;
     }
+
+    // Derive the epoch cap (conservative lookahead) from the
+    // registered channels, and (re)flag cross-domain latency-L fifos
+    // for epoch-committed handoff. A channel attributed only on one
+    // side might cross a boundary we cannot see — clamp to 1.
+    Cycle cap = kNever;
+    bool any_cross = false;
+    have_commit_fifos_ = false;
+    Simulator *sim = &sim_;
+    bus::FifoBase::forEach([&, sim](bus::FifoBase *f) {
+        Tickable *p = f->producer();
+        Tickable *c = f->consumer();
+        const bool p_ours = p != nullptr && p->simulator() == sim;
+        const bool c_ours = c != nullptr && c->simulator() == sim;
+        if (!p_ours && !c_ours)
+            return;
+        if (p_ours && c_ours) {
+            if (p->domain() != c->domain()) {
+                any_cross = true;
+                cap = std::min(cap, std::max<Cycle>(1, f->latency()));
+                if (f->latency() >= 2) {
+                    f->setEpochCommit(true);
+                    have_commit_fifos_ = true;
+                    return;
+                }
+            }
+        } else {
+            any_cross = true;
+            cap = std::min<Cycle>(cap, 1);
+        }
+        f->setEpochCommit(false);
+    });
+    if (!any_cross)
+        cap = 1; // nothing attributed: no lookahead can be proven
+    for (Tickable *c : sim_.components_)
+        cap = std::min(cap, std::max<Cycle>(1, c->minWakeDistance()));
+    if (requested_epoch_ != 0)
+        cap = std::min(cap, requested_epoch_);
+    epoch_cap_ = std::max<Cycle>(1, cap);
+
     dirty_ = false;
+}
+
+Cycle
+DomainScheduler::epochCap()
+{
+    if (dirty_)
+        rebuild();
+    return epoch_cap_;
 }
 
 void
@@ -203,7 +289,9 @@ DomainScheduler::wake(Tickable *component)
     if (ctx.sched == this && ctx.in_phase) {
         if (ctx.dom != nullptr && component->domain_ == ctx.dom->index) {
             // Same-domain: the executing thread owns the component.
-            component->wake_cycle_ = cycle_now_;
+            // tls_cycle is the executing sub-cycle (== cycle_now_ at
+            // epoch 1), which the retirement grace rule compares.
+            component->wake_cycle_ = tls_cycle;
             if (!component->active_) {
                 component->active_ = true;
                 ++ctx.dom->num_active;
@@ -223,7 +311,15 @@ DomainScheduler::wake(Tickable *component)
     // reached yet. Queue it for a late evaluation so the parallel
     // schedule stays bit-identical (fast-forward can park exactly such
     // components, e.g. an idle CPU woken by an IRQ raise).
-    if (ctx.sched == this && ctx.dom == &main_stage_ &&
+    // Late evaluations only exist at epoch 1: under multi-cycle epochs
+    // every operation whose replay can wake a not-yet-evaluated
+    // component (interrupt service, firmware reconfiguration) runs in
+    // a one-cycle epoch — the Soc's epoch-limit hook holds N at 1
+    // while an interrupt is pending — so a same-cycle evaluate is
+    // never owed here. (A hand-built topology that violates that
+    // discipline gets a next-epoch wake, which is the registered-
+    // boundary semantics its latency annotation promised.)
+    if (epoch_n_ == 1 && ctx.sched == this && ctx.dom == &main_stage_ &&
         component->last_eval_ != cycle_now_ &&
         component->order_ > ctx.order &&
         std::find(late_evals_.begin(), late_evals_.end(), component) ==
@@ -239,10 +335,36 @@ DomainScheduler::workerLoop(unsigned tid)
         start_barrier_.arriveAndWait();
         if (stop_)
             return;
+        workerBody(tid);
+        end_barrier_.arriveAndWait();
+    }
+}
+
+void
+DomainScheduler::workerBody(unsigned tid)
+{
+    if (epoch_n_ == 1) {
+        // Epoch 1: the legacy protocol, with the mid barrier fencing
+        // the L = 1 staged -> ready fifo handoff between phases.
         runEvaluate(tid, cycle_now_);
         mid_barrier_.arriveAndWait();
-        runAdvance(tid, cycle_now_);
-        end_barrier_.arriveAndWait();
+        runAdvance(tid, cycle_now_, true);
+        return;
+    }
+    // Multi-cycle epoch: free-run the sub-cycles back to back. No
+    // barrier is needed between or within sub-cycles because every
+    // cross-domain channel has latency >= epoch length and is epoch-
+    // committed — no domain can observe another's state before the
+    // end barrier. Retirement is restricted to the last sub-cycle so
+    // a component with future-dated internal work (e.g. a memory
+    // controller waiting out an access latency that lands mid-epoch)
+    // stays hot and processes it on the exact sequential cycle; its
+    // re-arm wakes, deferred to the main section, then always target
+    // the next epoch or later.
+    for (Cycle k = 0; k < epoch_n_; ++k) {
+        const Cycle now = cycle_now_ + k;
+        runEvaluate(tid, now);
+        runAdvance(tid, now, k + 1 == epoch_n_);
     }
 }
 
@@ -252,6 +374,7 @@ DomainScheduler::runEvaluate(unsigned tid, Cycle now)
     ExecCtx &ctx = tls();
     ctx.sched = this;
     ctx.in_phase = true;
+    simctx::setCurrentCycle(now);
     const bool ff = sim_.fastForward();
     for (unsigned d = tid; d < domains_.size(); d += threads_) {
         TickDomain &dom = domains_[d];
@@ -270,11 +393,12 @@ DomainScheduler::runEvaluate(unsigned tid, Cycle now)
 }
 
 void
-DomainScheduler::runAdvance(unsigned tid, Cycle now)
+DomainScheduler::runAdvance(unsigned tid, Cycle now, bool retire)
 {
     ExecCtx &ctx = tls();
     ctx.sched = this;
     ctx.in_phase = true;
+    simctx::setCurrentCycle(now);
     const bool ff = sim_.fastForward();
     for (unsigned d = tid; d < domains_.size(); d += threads_) {
         TickDomain &dom = domains_[d];
@@ -301,7 +425,7 @@ DomainScheduler::runAdvance(unsigned tid, Cycle now)
                 c->advance(now);
             }
         }
-        if (ff) {
+        if (ff && retire) {
             // Retire quiescent members (same grace-cycle rule as the
             // sequential loop: anything woken this cycle stays hot).
             for (Tickable *c : dom.members) {
@@ -317,7 +441,7 @@ DomainScheduler::runAdvance(unsigned tid, Cycle now)
 }
 
 void
-DomainScheduler::mainSection(Cycle now)
+DomainScheduler::mainSection()
 {
     // 1. Late cross-domain wakes (staged during the advance phase —
     // the cause is not yet visible to the target, so activating it for
@@ -332,9 +456,10 @@ DomainScheduler::mainSection(Cycle now)
     }
 
     // 2. Replay deferred shared operations in the order the sequential
-    // loop would have executed them inline: by issuer registration
-    // order, ties by issue order (issuers are unique per domain, so
-    // the per-domain sequence numbers never tie across domains).
+    // loop would have executed them inline: by cycle, then issuer
+    // registration order, ties by issue order (issuers are unique per
+    // domain and the per-domain sequence numbers increase across the
+    // epoch's sub-cycles, so ties never cross domains).
     ops_scratch_.clear();
     for (auto &dom : domains_) {
         std::move(dom.deferred.begin(), dom.deferred.end(),
@@ -346,18 +471,26 @@ DomainScheduler::mainSection(Cycle now)
         std::stable_sort(ops_scratch_.begin(), ops_scratch_.end(),
                          [](const TickDomain::DeferredOp &a,
                             const TickDomain::DeferredOp &b) {
+                             if (a.cycle != b.cycle)
+                                 return a.cycle < b.cycle;
                              if (a.order != b.order)
                                  return a.order < b.order;
                              return a.seq < b.seq;
                          });
+        stat_deferred_ops_ += static_cast<double>(ops_scratch_.size());
         ExecCtx &ctx = tls();
         ctx.sched = this;
         ctx.dom = &main_stage_; // trace from ops merges in issuer order
         for (auto &op : ops_scratch_) {
             ctx.order = op.order;
+            // Replay under the issuing sub-cycle so nested latency-
+            // aware calls (event inserts, interrupt delivery, fifo
+            // pushes) see the cycle the sequential loop ran them at.
+            simctx::setCurrentCycle(op.cycle);
             op.fn();
         }
         ctx = ExecCtx{};
+        simctx::setCurrentCycle(epoch_last_);
         ops_scratch_.clear();
     }
 
@@ -371,6 +504,7 @@ DomainScheduler::mainSection(Cycle now)
     // later-ordered, so min-first processing replays the cascade in
     // sequential order.
     if (!late_evals_.empty()) {
+        stat_late_evals_ += static_cast<double>(late_evals_.size());
         ExecCtx &ctx = tls();
         ctx.sched = this;
         ctx.dom = &main_stage_;
@@ -383,17 +517,18 @@ DomainScheduler::mainSection(Cycle now)
             Tickable *c = *it;
             late_evals_.erase(it);
             ctx.order = c->order_;
-            c->last_eval_ = now;
-            c->evaluate(now);
-            c->advance(now);
+            c->last_eval_ = epoch_last_;
+            c->evaluate(epoch_last_);
+            c->advance(epoch_last_);
         }
         ctx = ExecCtx{};
     }
 
     // 3. Merge the per-domain trace buffers into one coherent stream:
-    // all events carry the same cycle, so sorting by emitter
-    // registration order (stable, preserving per-component emission
-    // order) reproduces the sequential emission sequence exactly.
+    // sorting by (cycle, emitter registration order) — stable, so
+    // per-component emission order is preserved — reproduces the
+    // sequential emission sequence exactly; within a one-cycle epoch
+    // this degenerates to the pure registration-order merge.
     trace::Sink *sink = trace::tracer().sink();
     trace_scratch_.clear();
     for (auto &dom : domains_) {
@@ -408,6 +543,8 @@ DomainScheduler::mainSection(Cycle now)
         std::stable_sort(trace_scratch_.begin(), trace_scratch_.end(),
                          [](const TickDomain::TraceStage &a,
                             const TickDomain::TraceStage &b) {
+                             if (a.event.when != b.event.when)
+                                 return a.event.when < b.event.when;
                              return a.order < b.order;
                          });
         for (const auto &staged : trace_scratch_)
@@ -415,32 +552,94 @@ DomainScheduler::mainSection(Cycle now)
     }
     trace_scratch_.clear();
 
-    // 4. Resync the global active count (phase wakes/retires touched
-    // only the per-domain counters).
+    // 4. Epoch-committed fifo handoff: publish every staged item and
+    // freed credit across the domain boundaries, re-waking consumers
+    // that were handed work (the sequential schedule had them awake —
+    // their own clock would have performed the transfer).
+    if (have_commit_fifos_)
+        commitFifos();
+
+    // 5. Resync the global active count (phase wakes/retires touched
+    // only the per-domain counters; commit wakes went through
+    // wakeDirect, which maintains both).
     std::size_t total = 0;
     for (const auto &dom : domains_)
         total += dom.num_active;
     sim_.num_active_ = total;
-    (void)now;
 }
 
 void
-DomainScheduler::runCycle(Cycle now)
+DomainScheduler::commitFifos()
+{
+    Simulator *sim = &sim_;
+    const Cycle epoch_last = epoch_last_;
+    std::uint64_t commits = 0;
+    bus::FifoBase::forEach([&, sim](bus::FifoBase *f) {
+        if (!f->epochCommit())
+            return;
+        Tickable *consumer = f->consumer();
+        if (consumer == nullptr || consumer->simulator() != sim)
+            return;
+        if (f->commitEpoch(epoch_last)) {
+            ++commits;
+            wakeDirect(consumer);
+        }
+    });
+    if (commits != 0)
+        stat_fifo_commits_ += static_cast<double>(commits);
+}
+
+void
+DomainScheduler::runEpoch(Cycle now, Cycle n)
 {
     if (dirty_)
         rebuild();
+    if (n > epoch_cap_)
+        n = epoch_cap_;
     cycle_now_ = now;
+    epoch_n_ = n;
+    epoch_last_ = now + n - 1;
+    ++epochs_run_;
+    cycles_run_ += n;
+    ++stat_epochs_;
+    stat_cycles_ += static_cast<double>(n);
+    if (trace::on()) {
+        trace::Event event;
+        event.when = now;
+        event.phase = trace::Phase::Instant;
+        event.track = "sim.parallel";
+        event.category = "sim";
+        event.name = "epoch_begin";
+        event.arg0 = n;
+        event.arg1 = threads_;
+        trace::emit(event);
+    }
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point t0;
+    if (timing_enabled_)
+        t0 = Clock::now();
     if (workers_.empty()) {
-        runEvaluate(0, now);
-        runAdvance(0, now);
+        workerBody(0);
     } else {
         start_barrier_.arriveAndWait();
-        runEvaluate(0, now);
-        mid_barrier_.arriveAndWait();
-        runAdvance(0, now);
+        workerBody(0);
         end_barrier_.arriveAndWait();
+        const std::uint64_t syncs = n == 1 ? 3 : 2;
+        barrier_syncs_ += syncs;
+        stat_barrier_syncs_ += static_cast<double>(syncs);
     }
-    mainSection(now);
+    Clock::time_point t1;
+    if (timing_enabled_) {
+        t1 = Clock::now();
+        stat_parallel_wall_s_ +=
+            std::chrono::duration<double>(t1 - t0).count();
+    }
+    mainSection();
+    if (timing_enabled_) {
+        stat_main_wall_s_ +=
+            std::chrono::duration<double>(Clock::now() - t1).count();
+    }
+    simctx::setCurrentCycle(epoch_last_);
 }
 
 } // namespace siopmp

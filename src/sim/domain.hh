@@ -17,17 +17,28 @@
  *              registration order, merge per-domain trace buffers,
  *              apply structural changes, resync active counts
  *
- * The epoch length is one cycle because the minimum cross-domain link
- * latency is one cycle: every inter-domain channel is a registered
- * bus::Fifo whose staged items only become consumer-visible at the
- * consumer's clock() in phase B. The fifo's staged_/ready_ pair *is*
- * the double buffer of the domain boundary — producers touch only the
- * staging side during phase A while consumers read only the registered
- * side, so the phases are data-race-free without any fifo locking, and
- * one barrier per phase is exactly the synchronization the registered
- * handoff needs. A fabric with deeper boundary registers could run
- * N-cycle epochs; deriving N = min link latency keeps the schedule
- * provably identical to the sequential one (see docs/SIMULATION.md).
+ * Multi-cycle epochs (conservative lookahead): the protocol above is
+ * the epoch-1 special case. The epoch length N is derived as the
+ * minimum latency over attributed *cross-domain* channels (bus::Fifo
+ * latency L; see FifoBase endpoints) — a latency-L registered boundary
+ * means no information crosses it in fewer than L cycles, so the
+ * domains can free-run N <= L back-to-back evaluate/advance sub-cycles
+ * between barriers without any domain observing another's state early.
+ * Cross-domain fifos with L >= 2 switch to epoch-committed handoff
+ * (Fifo::commitEpoch, executed in the main section), so consumers
+ * never read the producer-side staging buffer mid-epoch; with that,
+ * the mid barrier is unnecessary at N >= 2 and an epoch costs two
+ * barrier synchronizations instead of 3 * N. Every L = 1 cross-domain
+ * channel forces N = 1 (today's protocol, bit-identical, byte-for-byte
+ * the same code path). Per epoch the effective N is further clamped by
+ * the run target, the next pending event (no event may fire mid-epoch)
+ * and the Simulator's epoch-limit hook (the Soc holds N at 1 while an
+ * interrupt is pending so firmware service replays exactly as at
+ * epoch 1). Deferred shared ops, trace events and wake drains batch
+ * across the epoch and replay in (cycle, registration-order, seq)
+ * order in one main section, keeping results bit-identical to the
+ * sequential oracle at every (threads, epoch) point — see
+ * docs/SIMULATION.md section 5 for the derivation.
  *
  * Determinism: the domain partition is fixed by topology, never by
  * thread count. Domains map onto threads round-robin, each domain's
@@ -57,6 +68,7 @@
 #include <vector>
 
 #include "sim/random.hh"
+#include "sim/stats.hh"
 #include "sim/trace.hh"
 #include "sim/types.hh"
 
@@ -64,6 +76,10 @@ namespace siopmp {
 
 class Simulator;
 class Tickable;
+
+namespace bus {
+class FifoBase;
+} // namespace bus
 
 /** Highest allowed tick-domain index (sanity bound, not a tuning). */
 inline constexpr unsigned kMaxDomains = 4096;
@@ -75,8 +91,9 @@ inline constexpr unsigned kMaxDomains = 4096;
  * events, a deterministic random stream).
  */
 struct TickDomain {
-    /** One operation deferred to the end-of-cycle main section. */
+    /** One operation deferred to the end-of-epoch main section. */
     struct DeferredOp {
+        Cycle cycle;         //!< sub-cycle the issuer deferred it at
         std::uint32_t order; //!< registration order of the issuer
         std::uint32_t seq;   //!< issue order within the domain
         std::function<void()> fn;
@@ -123,8 +140,8 @@ class PhaseBarrier
  * Drives one Simulator's components through the phase-barrier protocol
  * described in the file header. Owned by the Simulator once
  * setThreads(n >= 1) enables the parallel engine; thread 0 is the
- * caller of runCycle() (the simulator's own thread), threads 1..n-1
- * are workers parked between cycles. Domain d runs on thread d mod n.
+ * caller of runEpoch() (the simulator's own thread), threads 1..n-1
+ * are workers parked between epochs. Domain d runs on thread d mod n.
  */
 class DomainScheduler
 {
@@ -135,8 +152,26 @@ class DomainScheduler
     DomainScheduler(const DomainScheduler &) = delete;
     DomainScheduler &operator=(const DomainScheduler &) = delete;
 
-    /** Execute one full cycle at @p now (events already fired). */
-    void runCycle(Cycle now);
+    /** Execute one epoch of @p n back-to-back cycles starting at
+     * @p now (events already fired; the caller advanced-clamped @p n
+     * to the epoch cap, the run target and the next pending event). */
+    void runEpoch(Cycle now, Cycle n);
+
+    /**
+     * Upper bound on the epoch length, derived on rebuild: min over
+     * attributed cross-domain channel latencies (1 if none or if any
+     * channel is only partially attributed), member minWakeDistance()
+     * bounds, and the requested epoch. Always >= 1.
+     */
+    Cycle epochCap();
+
+    /** Requested epoch length (0 = auto-derive; see Simulator). */
+    void
+    setRequestedEpoch(Cycle n)
+    {
+        requested_epoch_ = n;
+        dirty_ = true;
+    }
 
     /** Membership or domain assignment changed; rebuild lazily. */
     void markDirty() { dirty_ = true; }
@@ -154,20 +189,53 @@ class DomainScheduler
     unsigned threads() const { return threads_; }
     std::size_t numDomains() const { return domains_.size(); }
 
+    /** Epochs executed / simulated cycles covered / barrier
+     * synchronizations performed (observability; also exported in the
+     * "sim_parallel" stats group). */
+    std::uint64_t epochsRun() const { return epochs_run_; }
+    std::uint64_t cyclesRun() const { return cycles_run_; }
+    std::uint64_t barrierSyncs() const { return barrier_syncs_; }
+
   private:
     void rebuild();
     void workerLoop(unsigned tid);
+    void workerBody(unsigned tid);
     void runEvaluate(unsigned tid, Cycle now);
-    void runAdvance(unsigned tid, Cycle now);
-    void mainSection(Cycle now);
+    void runAdvance(unsigned tid, Cycle now, bool retire);
+    void mainSection();
+    void commitFifos();
     void wakeDirect(Tickable *component);
+    void clearEpochCommitFlags();
 
     Simulator &sim_;
     unsigned threads_;
     bool dirty_ = true;
     bool stop_ = false;
-    Cycle cycle_now_ = 0;
+    Cycle cycle_now_ = 0;   //!< first cycle of the running epoch
+    Cycle epoch_n_ = 1;     //!< length of the running epoch
+    Cycle epoch_last_ = 0;  //!< last cycle of the running epoch
+    Cycle epoch_cap_ = 1;   //!< derived on rebuild
+    Cycle requested_epoch_ = 0; //!< 0 = auto
+    bool have_commit_fifos_ = false;
     std::uint64_t rng_seed_ = 0x510d0'113ULL;
+
+    std::uint64_t epochs_run_ = 0;
+    std::uint64_t cycles_run_ = 0;
+    std::uint64_t barrier_syncs_ = 0;
+
+    //! Observability (satellite of the epoch work): epochs, barriers
+    //! and — when SIOPMP_PARALLEL_TIMING=1 — per-phase wall time.
+    stats::Group stats_{"sim_parallel"};
+    stats::Scalar &stat_epochs_ = stats_.scalar("epochs");
+    stats::Scalar &stat_cycles_ = stats_.scalar("cycles");
+    stats::Scalar &stat_barrier_syncs_ = stats_.scalar("barrier_syncs");
+    stats::Scalar &stat_deferred_ops_ = stats_.scalar("deferred_ops");
+    stats::Scalar &stat_late_evals_ = stats_.scalar("late_evals");
+    stats::Scalar &stat_fifo_commits_ = stats_.scalar("fifo_commits");
+    stats::Scalar &stat_parallel_wall_s_ =
+        stats_.scalar("parallel_wall_seconds");
+    stats::Scalar &stat_main_wall_s_ = stats_.scalar("main_wall_seconds");
+    bool timing_enabled_ = false;
 
     std::vector<TickDomain> domains_;
     //! Staging area for the main section itself, so trace events

@@ -40,6 +40,39 @@ namespace simctx {
 bool inParallelPhase();
 
 /**
+ * The simulated cycle the calling thread is currently executing. The
+ * sequential loop sets it once per tick; the parallel engine sets it
+ * per sub-cycle on every worker and per replayed operation in the main
+ * section. Latency-aware primitives (bus::Fifo with latency >= 2,
+ * InterruptController delivery) read it instead of threading a `now`
+ * parameter through every call chain. Outside a run it holds the last
+ * executed cycle — unit tests driving such primitives by hand should
+ * pin it with CycleGuard.
+ */
+Cycle currentCycle();
+
+/** Set the calling thread's current cycle (engine + test use). */
+void setCurrentCycle(Cycle now);
+
+/** RAII pin of currentCycle() for tests that drive latency-aware
+ * primitives without a Simulator. Restores the previous value. */
+class CycleGuard
+{
+  public:
+    explicit CycleGuard(Cycle now) : prev_(currentCycle())
+    {
+        setCurrentCycle(now);
+    }
+    ~CycleGuard() { setCurrentCycle(prev_); }
+
+    CycleGuard(const CycleGuard &) = delete;
+    CycleGuard &operator=(const CycleGuard &) = delete;
+
+  private:
+    Cycle prev_;
+};
+
+/**
  * Queue @p fn for the sequential end-of-cycle main section, ordered by
  * the issuing component's registration order (ties by issue order).
  * Returns false — leaving the caller to run @p fn inline — when the

@@ -7,14 +7,19 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <unordered_map>
 
+#include "bus/fifo.hh"
 #include "sim/domain.hh"
 #include "sim/exec_context.hh"
 #include "sim/logging.hh"
 
 namespace siopmp {
 
-Simulator::Simulator() : fast_forward_(defaultFastForward()) {}
+Simulator::Simulator()
+    : fast_forward_(defaultFastForward()), requested_epoch_(defaultEpoch())
+{
+}
 
 Simulator::~Simulator() = default;
 
@@ -42,6 +47,102 @@ Simulator::parallelAllowed()
         return env == nullptr || env[0] == '\0' || env[0] == '0';
     }();
     return on;
+}
+
+Cycle
+Simulator::defaultEpoch()
+{
+    static const Cycle epoch = [] {
+        const char *env = std::getenv("SIOPMP_EPOCH");
+        if (env == nullptr || env[0] == '\0')
+            return Cycle{0};
+        return static_cast<Cycle>(std::strtoull(env, nullptr, 10));
+    }();
+    return epoch;
+}
+
+void
+Simulator::setEpoch(Cycle n)
+{
+    requested_epoch_ = n;
+    if (scheduler_)
+        scheduler_->setRequestedEpoch(n);
+}
+
+Cycle
+Simulator::epochCap()
+{
+    return scheduler_ ? scheduler_->epochCap() : Cycle{1};
+}
+
+void
+Simulator::setEpochLimit(std::function<Cycle(Cycle)> limit)
+{
+    epoch_limit_ = std::move(limit);
+}
+
+unsigned
+Simulator::autoPartition()
+{
+    // Union-find over registration indices; components joined by an
+    // attributed latency-1 channel collapse into one domain.
+    std::unordered_map<const Tickable *, std::size_t> index;
+    index.reserve(components_.size());
+    for (std::size_t i = 0; i < components_.size(); ++i)
+        index.emplace(components_[i], i);
+
+    std::vector<std::size_t> parent(components_.size());
+    for (std::size_t i = 0; i < parent.size(); ++i)
+        parent[i] = i;
+    const auto find = [&parent](std::size_t i) {
+        while (parent[i] != i) {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        return i;
+    };
+
+    std::vector<bool> attached(components_.size(), false);
+    Simulator *self = this;
+    bus::FifoBase::forEach([&](bus::FifoBase *f) {
+        Tickable *p = f->producer();
+        Tickable *c = f->consumer();
+        if (p == nullptr || c == nullptr || p->simulator() != self ||
+            c->simulator() != self)
+            return;
+        const std::size_t pi = index.at(p);
+        const std::size_t ci = index.at(c);
+        attached[pi] = true;
+        attached[ci] = true;
+        if (f->latency() == 1)
+            parent[find(pi)] = find(ci);
+    });
+
+    // Components on no attributed channel stay in domain 0 (their
+    // sharing pattern is unknown — the conservative default); each
+    // remaining connectivity component gets its own domain, numbered
+    // in registration order for determinism.
+    std::unordered_map<std::size_t, unsigned> root_domain;
+    unsigned next_domain = 1;
+    bool any_unattached = false;
+    for (std::size_t i = 0; i < components_.size(); ++i) {
+        unsigned domain = 0;
+        if (attached[i]) {
+            const std::size_t root = find(i);
+            auto it = root_domain.find(root);
+            if (it == root_domain.end()) {
+                SIOPMP_ASSERT(next_domain < kMaxDomains,
+                              "auto-partition exceeded kMaxDomains");
+                it = root_domain.emplace(root, next_domain++).first;
+            }
+            domain = it->second;
+        } else {
+            any_unattached = true;
+        }
+        setDomain(components_[i], domain);
+    }
+    return static_cast<unsigned>(root_domain.size()) +
+           (any_unattached ? 1u : 0u);
 }
 
 void
@@ -81,6 +182,7 @@ Simulator::setThreads(unsigned n)
         return;
     threads_ = n;
     scheduler_ = std::make_unique<DomainScheduler>(*this, n);
+    scheduler_->setRequestedEpoch(requested_epoch_);
 }
 
 void
@@ -139,19 +241,31 @@ Simulator::wake(Tickable *component)
 }
 
 void
-Simulator::tickOnce()
+Simulator::tickOnce(Cycle limit)
 {
     events_.runUntil(now_);
+    simctx::setCurrentCycle(now_);
     if (scheduler_) {
+        // Effective epoch length: the derived topology cap, the
+        // caller's run target, the epoch-limit hook and the next
+        // pending event (no event may fire mid-epoch) all clamp it.
+        Cycle n = std::min(scheduler_->epochCap(), std::max<Cycle>(1, limit));
+        if (n > 1 && epoch_limit_)
+            n = std::max<Cycle>(1, std::min(n, epoch_limit_(now_)));
+        if (n > 1) {
+            const Cycle next = events_.nextEventCycle();
+            if (next != kNever && next - now_ < n)
+                n = std::max<Cycle>(1, next - now_);
+        }
         ticking_ = true;
-        scheduler_->runCycle(now_);
+        scheduler_->runEpoch(now_, n);
         ticking_ = false;
         if (!pending_removes_.empty()) {
             for (auto *c : pending_removes_)
                 removeNow(c);
             pending_removes_.clear();
         }
-        ++now_;
+        now_ += n;
         return;
     }
     ticking_ = true;
@@ -201,7 +315,7 @@ Simulator::step()
             now_ = next;
         }
     }
-    tickOnce();
+    tickOnce(1);
 }
 
 void
@@ -224,7 +338,7 @@ Simulator::run(Cycle n)
                 break;
             }
         }
-        tickOnce();
+        tickOnce(target - now_);
     }
 }
 
@@ -253,7 +367,9 @@ Simulator::runUntil(const std::function<bool()> &done, Cycle max_cycles)
                 continue; // re-check done(), then hit the bound above
             }
         }
-        tickOnce();
+        // Single-cycle epochs only: @p done must be re-checked at
+        // every cycle boundary, so no lookahead here.
+        tickOnce(1);
     }
     return now_ - start;
 }

@@ -93,6 +93,54 @@ class Simulator
     static bool parallelAllowed();
 
     /**
+     * Request a multi-cycle epoch for the parallel engine: up to @p n
+     * back-to-back cycles per barrier pair. 0 (the default) derives
+     * the length from the topology — the minimum latency over
+     * attributed cross-domain channels. Any request is still clamped
+     * by that derived bound (and per epoch by the run target, the next
+     * pending event and the epoch-limit hook), so results remain
+     * bit-identical to the sequential loop at every setting; see
+     * sim/domain.hh. No effect on the sequential loops.
+     */
+    void setEpoch(Cycle n);
+
+    /** Requested epoch length (0 = auto). */
+    Cycle epoch() const { return requested_epoch_; }
+
+    /** Derived epoch upper bound (1 on the sequential loops). */
+    Cycle epochCap();
+
+    /**
+     * Install a per-epoch clamp: called at each epoch start (after
+     * due events fired) with the current cycle, it returns the
+     * maximum epoch length allowed from here (values < 1 mean 1).
+     * The Soc uses it to hold the epoch at one cycle while an
+     * interrupt is pending, so firmware-driven shared-state mutation
+     * replays exactly as at epoch 1. Pass nullptr to remove.
+     */
+    void setEpochLimit(std::function<Cycle(Cycle)> limit);
+
+    /**
+     * Derive tick domains from the attributed channel graph (for
+     * hand-built Simulators; Soc installs its own plan): components
+     * joined by a latency-1 channel are tightly coupled and share a
+     * domain, latency >= 2 channels are registered boundaries between
+     * domains, and components on no attributed channel stay together
+     * in domain 0 (the conservative default for unknown sharing).
+     * Requires producer/consumer annotation (FifoBase::setProducer /
+     * setConsumer or Link::setEndpoints).
+     * @return number of distinct domains assigned.
+     */
+    unsigned autoPartition();
+
+    /** Process-wide default epoch request (SIOPMP_EPOCH, else 0). */
+    static Cycle defaultEpoch();
+
+    /** The parallel engine, when driving the loop (observability:
+     * epoch/barrier counters for benches and tests); else nullptr. */
+    DomainScheduler *scheduler() { return scheduler_.get(); }
+
+    /**
      * Run a single cycle: events, evaluate-all, advance-all. Under
      * fast-forward, when the active set is empty the cycle executed is
      * the next one with a pending event (intervening quiescent cycles
@@ -145,8 +193,9 @@ class Simulator
   private:
     friend class DomainScheduler;
 
-    /** Execute exactly one cycle at now_ (no idle jump). */
-    void tickOnce();
+    /** Execute one epoch at now_ (no idle jump): up to @p limit
+     * cycles under the parallel engine, exactly one otherwise. */
+    void tickOnce(Cycle limit = 1);
 
     /** Immediate removal (caller guarantees no tick is in flight). */
     void removeNow(Tickable *component);
@@ -160,6 +209,8 @@ class Simulator
 
     std::unique_ptr<DomainScheduler> scheduler_;
     unsigned threads_ = 0;
+    Cycle requested_epoch_;
+    std::function<Cycle(Cycle)> epoch_limit_;
     std::uint32_t next_order_ = 0;
     //! Guards against mutating components_ while tickOnce iterates it.
     bool ticking_ = false;

@@ -90,6 +90,24 @@ class Tickable
             wakeSlow();
     }
 
+    /**
+     * Lower bound on the distance (in cycles) of any event-queue
+     * *callback* this component schedules from inside evaluate()/
+     * advance(): a promise that every schedule(when, cb) issued at
+     * cycle T targets when >= T + minWakeDistance(). The parallel
+     * engine caps the multi-cycle epoch length at this bound because a
+     * phase-issued callback lands in the queue only at the epoch's
+     * main section — a target inside the running epoch would fire
+     * late. Self-re-arm wakes (EventQueue::scheduleWake) are exempt:
+     * the engine never retires a component mid-epoch, so work the wake
+     * guards is processed on time by the still-active component, and a
+     * wake armed while parking targets the next epoch or later. The
+     * default (kNever) is correct for components that schedule no
+     * callbacks from tick phases — true of every in-tree component;
+     * hand-built ones that do must override this (or keep epoch 1).
+     */
+    virtual Cycle minWakeDistance() const { return kNever; }
+
     /** Simulator this component is registered with (null if none). */
     Simulator *simulator() const { return sim_; }
 

@@ -14,11 +14,32 @@ namespace siopmp {
 namespace soc {
 
 CpuNode::CpuNode(std::string name, fw::SecureMonitor *monitor,
-                 iopmp::SIopmp *unit, Simulator *sim)
+                 iopmp::SIopmp *unit, Simulator *sim, Cycle irq_latency)
     : Tickable(std::move(name)), monitor_(monitor), unit_(unit), sim_(sim)
 {
     SIOPMP_ASSERT(monitor_ && unit_ && sim_, "cpu node wiring incomplete");
     monitor_->irqController().bindWake(this);
+    if (irq_latency > 0)
+        monitor_->irqController().setDeliveryLatency(irq_latency,
+                                                     &sim_->events());
+    // The interrupt path crosses tick domains without a registered
+    // fifo, so it must bound the parallel engine's lookahead itself:
+    // while idle the epoch may not exceed the delivery latency (a
+    // raise at the first sub-cycle lands exactly on the next epoch
+    // boundary), and while an interrupt is pending every firmware
+    // mutation must replay at single-cycle granularity.
+    sim_->setEpochLimit([this](Cycle) {
+        const auto &irq = monitor_->irqController();
+        if (irq.pending())
+            return Cycle{1};
+        const Cycle d = irq.deliveryLatency();
+        return d == 0 ? Cycle{1} : d;
+    });
+}
+
+CpuNode::~CpuNode()
+{
+    sim_->setEpochLimit(nullptr);
 }
 
 bool

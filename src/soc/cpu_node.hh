@@ -21,8 +21,23 @@ namespace soc {
 class CpuNode : public Tickable
 {
   public:
+    /**
+     * @p irq_latency models the interrupt wire from the sIOPMP to the
+     * CPU: a raise() becomes pending @p irq_latency cycles later, via
+     * the event queue (0 keeps the legacy same-cycle delivery). On a
+     * multi-cycle-epoch SoC (SocConfig::boundary_latency >= 2) pass
+     * the boundary latency here — the interrupt path is a cross-domain
+     * information flow that is not a registered fifo, so the CpuNode
+     * installs a Simulator epoch-limit hook clamping the epoch to
+     * min(irq_latency, ...) while idle and to 1 while an interrupt is
+     * pending; with irq_latency == 0 the epoch is held at 1 whenever a
+     * CpuNode exists. Either way results stay bit-identical to the
+     * sequential loop. The hook is removed by the destructor; destroy
+     * the CpuNode before the Simulator.
+     */
     CpuNode(std::string name, fw::SecureMonitor *monitor,
-            iopmp::SIopmp *unit, Simulator *sim);
+            iopmp::SIopmp *unit, Simulator *sim, Cycle irq_latency = 0);
+    ~CpuNode();
 
     void evaluate(Cycle now) override;
     void advance(Cycle now) override;

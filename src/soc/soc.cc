@@ -60,10 +60,24 @@ Soc::Soc(const SocConfig &cfg)
     memmap_.add({"ext-iopmp-table", {0x7000'0000, 0x10'0000},
                  mem::RegionKind::Protected});
 
+    // Slice <-> fabric boundary links carry the configured register
+    // latency; a latency-L link needs 2*L slots of depth to sustain
+    // one beat per cycle (L in flight + L being drained).
+    const Cycle bl = std::max<Cycle>(1, cfg.boundary_latency);
+    const std::size_t bdepth = static_cast<std::size_t>(2 * bl);
+
     mem_link_ = std::make_unique<bus::Link>();
 
-    for (unsigned i = 0; i < cfg.num_masters; ++i)
-        master_links_.push_back(std::make_unique<bus::Link>());
+    for (unsigned i = 0; i < cfg.num_masters; ++i) {
+        // Centralized topology: the master link itself is the
+        // slice <-> fabric crossing. Per-device: it stays inside the
+        // slice (device and checker share a domain), so it keeps the
+        // combinational default.
+        if (cfg.centralized_checker)
+            master_links_.push_back(std::make_unique<bus::Link>(bdepth, bl));
+        else
+            master_links_.push_back(std::make_unique<bus::Link>());
+    }
 
     if (cfg.centralized_checker) {
         // master -> xbar -> checker -> memory
@@ -84,7 +98,8 @@ Soc::Soc(const SocConfig &cfg)
         // master -> checker -> xbar -> memory
         std::vector<bus::Link *> uplinks;
         for (unsigned i = 0; i < cfg.num_masters; ++i) {
-            checked_links_.push_back(std::make_unique<bus::Link>());
+            checked_links_.push_back(
+                std::make_unique<bus::Link>(bdepth, bl));
             error_links_.push_back(std::make_unique<bus::Link>());
             checkers_.push_back(std::make_unique<iopmp::CheckerNode>(
                 "checker" + std::to_string(i), master_links_[i].get(),
@@ -127,8 +142,35 @@ Soc::Soc(const SocConfig &cfg)
         }
     }
 
+    // Endpoint attribution for the epoch-cap derivation (sim/domain.hh):
+    // the parallel engine walks the registered fifos and takes the
+    // minimum latency over cross-domain channels; a channel it cannot
+    // fully attribute clamps the cap to 1. The device side of each
+    // master link is filled in by addDevice().
+    mem_link_->setEndpoints(xbar_.get(), mem_node_.get());
+    if (cfg.centralized_checker) {
+        checked_links_[0]->setEndpoints(xbar_.get(), checkers_[0].get());
+        error_links_[0]->setEndpoints(checkers_[0].get(),
+                                      error_nodes_[0].get());
+        for (auto &link : master_links_) {
+            link->a.setConsumer(xbar_.get());
+            link->d.setProducer(xbar_.get());
+        }
+    } else {
+        for (unsigned i = 0; i < cfg.num_masters; ++i) {
+            checked_links_[i]->setEndpoints(checkers_[i].get(),
+                                            xbar_.get());
+            error_links_[i]->setEndpoints(checkers_[i].get(),
+                                          error_nodes_[i].get());
+            master_links_[i]->a.setConsumer(checkers_[i].get());
+            master_links_[i]->d.setProducer(checkers_[i].get());
+        }
+    }
+
     if (cfg.sim_threads != 0)
         sim_.setThreads(cfg.sim_threads);
+    if (cfg.sim_epoch != 0)
+        sim_.setEpoch(cfg.sim_epoch);
 }
 
 bus::Link *

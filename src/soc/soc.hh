@@ -85,9 +85,24 @@ struct SocConfig {
     mem::MemoryTiming mem_timing;
     bool centralized_checker = false;
     Cycle mmio_access_cost = 2;
+    //! Register latency of every master-slice <-> fabric link (the
+    //! checked links under the per-device topology, the master links
+    //! under the centralized one). 1 models a combinational boundary
+    //! (today's behaviour); L >= 2 inserts L-1 extra register stages
+    //! per crossing *and* raises the parallel engine's epoch cap to L
+    //! (see sim/domain.hh) — N <= L cycles run back-to-back per
+    //! barrier pair. A timing model change: results differ from
+    //! boundary_latency=1 runs but stay bit-identical between the
+    //! sequential and parallel engines at the same value.
+    Cycle boundary_latency = 1;
     //! Worker threads for the sharded parallel engine (0 = sequential
     //! loop; see Simulator::setThreads and sim/domain.hh).
     unsigned sim_threads = 0;
+    //! Requested epoch length for the parallel engine (0 = derive
+    //! from the topology, i.e. up to boundary_latency). Clamped by
+    //! the derived cap, so any value is safe; only meaningful with
+    //! sim_threads > 0. See Simulator::setEpoch.
+    Cycle sim_epoch = 0;
     //! Check-path acceleration mode for the sIOPMP unit (and, via
     //! CheckerNode::syncLogic, every per-node replica). nullopt keeps
     //! the process default (CheckAccel::defaultMode()).
@@ -132,6 +147,14 @@ class Soc
     {
         sim_.add(device);
         sim_.setDomain(device, masterDomain(port));
+        // Complete the master link's endpoint attribution (the Soc
+        // pre-attributed its own side at build time): the epoch-cap
+        // derivation treats a partially-attributed channel as a
+        // 1-cycle boundary, so a port without a device keeps the
+        // conservative cap.
+        bus::Link *link = masterLink(port);
+        link->a.setProducer(device);
+        link->d.setConsumer(device);
     }
 
     /** Enable the sharded parallel engine (see Simulator::setThreads). */

@@ -236,6 +236,25 @@ TEST(DifferentialFuzz, DetectsReintroducedBlockHole)
     EXPECT_LT(report.trace.size(), cfg.ops_per_case);
 }
 
+/** Dropping destroy-class writes (CAM invalidates, eSID unmounts)
+ * must be flagged by the residue oracle at the dropped op itself —
+ * the report detail carries the audit message, not a downstream
+ * read or check divergence. */
+TEST(DifferentialFuzz, DetectsDroppedUnbindViaResidueOracle)
+{
+    const FuzzCaseConfig cfg = smallConfig(iopmp::CheckerKind::Linear, 1);
+    DifferentialFuzzer fuzzer(cfg, /*seed=*/1);
+    const FaultInjection injection = makeUnbindDropInjection();
+    fuzzer.setDutWriteHook(injection.hook, injection.reset);
+
+    const FuzzReport report = fuzzer.run(2000);
+    ASSERT_TRUE(report.diverged);
+    ASSERT_FALSE(report.trace.empty());
+    EXPECT_TRUE(fuzzer.replay(report.trace).has_value());
+    EXPECT_NE(report.detail.find("residue audit"), std::string::npos)
+        << report.detail;
+}
+
 /** The fixed simulator must NOT diverge under the same seeds used by
  * the injection tests — the signal really is the injected bug. */
 TEST(DifferentialFuzz, InjectionSeedsAreCleanWithoutInjection)

@@ -13,7 +13,7 @@
  *  - invalidation minimality: a mutation confined to one MD must not
  *    invalidate plans or verdict-cache lines of disjoint MD bitmaps
  *    (the point of the per-MD incremental scheme);
- *  - the SIOPMP_ACCEL_MODE / legacy SIOPMP_NO_CHECK_CACHE escape
+ *  - the SIOPMP_ACCEL_MODE escape
  *    hatches and the deprecated boolean shims;
  *  - the check_accel observability counters.
  */
@@ -418,19 +418,14 @@ INSTANTIATE_TEST_SUITE_P(
 
 // ---- escape hatches and deprecated shims --------------------------------
 
-/** RAII save/restore of the two acceleration env vars. */
+/** RAII save/restore of the acceleration env var. */
 class EnvGuard
 {
   public:
-    EnvGuard()
-    {
-        save("SIOPMP_ACCEL_MODE", &accel_);
-        save("SIOPMP_NO_CHECK_CACHE", &legacy_);
-    }
+    EnvGuard() { save("SIOPMP_ACCEL_MODE", &accel_); }
     ~EnvGuard()
     {
         restore("SIOPMP_ACCEL_MODE", accel_);
-        restore("SIOPMP_NO_CHECK_CACHE", legacy_);
         CheckAccel::setDefaultMode(std::nullopt);
     }
 
@@ -452,7 +447,6 @@ class EnvGuard
     }
 
     std::optional<std::string> accel_;
-    std::optional<std::string> legacy_;
 };
 
 TEST(CheckAccel, EnvEscapeHatch)
@@ -479,26 +473,14 @@ TEST(CheckAccel, EnvEscapeHatch)
         EXPECT_EQ(dut.accelMode(), AccelMode::Plans);
     }
 
-    // An unparseable value falls through to the legacy variable
-    // rather than silently disabling the layer.
+    // An unparseable value keeps the full default rather than
+    // silently disabling the layer.
     setenv("SIOPMP_ACCEL_MODE", "warpdrive", 1);
     EXPECT_EQ(CheckAccel::defaultMode(), AccelMode::PlansAndCache);
 
-    // The programmatic override (CLIs) beats both env vars.
+    // The programmatic override (CLIs) beats the environment.
     CheckAccel::setDefaultMode(AccelMode::Off);
     EXPECT_EQ(CheckAccel::defaultMode(), AccelMode::Off);
-    CheckAccel::setDefaultMode(std::nullopt);
-    unsetenv("SIOPMP_ACCEL_MODE");
-
-    // Legacy spelling: non-empty, non-"0" disables everything.
-    setenv("SIOPMP_NO_CHECK_CACHE", "1", 1);
-    EXPECT_EQ(CheckAccel::defaultMode(), AccelMode::Off);
-    setenv("SIOPMP_NO_CHECK_CACHE", "0", 1);
-    EXPECT_EQ(CheckAccel::defaultMode(), AccelMode::PlansAndCache);
-    // SIOPMP_ACCEL_MODE wins over the legacy variable when both set.
-    setenv("SIOPMP_NO_CHECK_CACHE", "1", 1);
-    setenv("SIOPMP_ACCEL_MODE", "plans", 1);
-    EXPECT_EQ(CheckAccel::defaultMode(), AccelMode::Plans);
 }
 
 TEST(CheckAccel, SetCheckerPreservesAccelMode)
@@ -540,44 +522,6 @@ TEST(CheckAccel, FactoryAppliesDefaultRawConstructionStaysOff)
         makeChecker(CheckerKind::Tree, 1, entries, mdcfg);
     EXPECT_EQ(plans_built->accelMode(), AccelMode::Plans);
 }
-
-// The deprecated boolean shims must keep behaving until they are
-// removed; these tests exercise them on purpose.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-TEST(CheckAccel, DeprecatedBooleanShimsStillWork)
-{
-    EnvGuard guard;
-
-    EXPECT_TRUE(CheckAccel::defaultEnabled());
-    setenv("SIOPMP_NO_CHECK_CACHE", "1", 1);
-    EXPECT_FALSE(CheckAccel::defaultEnabled());
-    unsetenv("SIOPMP_NO_CHECK_CACHE");
-
-    SIopmp dut(probeConfig(), CheckerKind::Linear, 1);
-    dut.setCheckCache(false);
-    EXPECT_FALSE(dut.checkCacheEnabled());
-    EXPECT_EQ(dut.accelMode(), AccelMode::Off);
-    dut.setCheckCache(true);
-    EXPECT_TRUE(dut.checkCacheEnabled());
-    EXPECT_EQ(dut.accelMode(), AccelMode::PlansAndCache);
-}
-
-TEST(CheckAccel, DeprecatedGenerationCountersStillTick)
-{
-    constexpr unsigned kEntries = 8;
-    EntryTable entries(kEntries);
-    MdCfgTable mdcfg(2, kEntries);
-    const std::uint64_t eg0 = entries.generation();
-    ASSERT_TRUE(entries.set(0, Entry::range(0, 0x1000, Perm::Read), true));
-    EXPECT_GT(entries.generation(), eg0);
-    const std::uint64_t mg0 = mdcfg.generation();
-    ASSERT_TRUE(mdcfg.setTop(0, 4));
-    EXPECT_GT(mdcfg.generation(), mg0);
-}
-
-#pragma GCC diagnostic pop
 
 // ---- observability counters ---------------------------------------------
 
@@ -622,14 +566,6 @@ TEST(CheckAccel, CountersTrackHitsMissesAndFlushes)
         AuthStatus::Allow);
     EXPECT_GE(accel->planRecompiles(), 1u);
     EXPECT_GT(accel->cacheMisses(), misses0);
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    // Deprecated aggregates stay coherent with the split counters.
-    EXPECT_EQ(accel->cacheFlushes(),
-              accel->fullFlushes() + accel->partialFlushes());
-    EXPECT_EQ(accel->planInvalidations(), accel->planRecompiles());
-#pragma GCC diagnostic pop
 }
 
 // ---- invalidation minimality --------------------------------------------
@@ -780,7 +716,7 @@ TEST(CheckAccel, ZeroLengthMatchesUncached)
     ASSERT_TRUE(entries.set(0, Entry::range(0, ~Addr{0}, Perm::ReadWrite),
                             true));
     auto checker = makeChecker(CheckerKind::Linear, 1, entries, mdcfg);
-    checker->setAccelEnabled(true);
+    checker->setAccelMode(AccelMode::PlansAndCache);
     CheckRequest req;
     req.addr = 0x1000;
     req.len = 0;

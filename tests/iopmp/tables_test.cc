@@ -335,32 +335,6 @@ TEST(TableListenerTest, MdcfgResetReports)
     t.removeListener(&listener);
 }
 
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-/** The legacy coarse counters keep their historical contract — bump
- * on every accepted mutation, including listener-silent ones (locks,
- * no-op top writes) — so out-of-tree consumers see no behavior
- * change. */
-TEST(TableListenerTest, DeprecatedGenerationStillCoarse)
-{
-    EntryTable entries(4);
-    const std::uint64_t g0 = entries.generation();
-    entries.lock(2); // silent for listeners, visible to generation()
-    EXPECT_GT(entries.generation(), g0);
-
-    MdCfgTable mdcfg(3, 64);
-    mdcfg.setTop(0, 8);
-    const std::uint64_t m0 = mdcfg.generation();
-    EXPECT_TRUE(mdcfg.setTop(0, 8)); // accepted no-op
-    EXPECT_GT(mdcfg.generation(), m0);
-    const std::uint64_t m1 = mdcfg.generation();
-    EXPECT_FALSE(mdcfg.setTop(0, 65)); // rejected: no bump
-    EXPECT_EQ(mdcfg.generation(), m1);
-}
-
-#pragma GCC diagnostic pop
-
 } // namespace
 } // namespace iopmp
 } // namespace siopmp

@@ -22,11 +22,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <functional>
 #include <sstream>
 #include <string>
 
+#include "bus/fifo.hh"
 #include "devices/accelerator.hh"
+#include "sim/domain.hh"
 #include "devices/dma_engine.hh"
 #include "devices/malicious.hh"
 #include "devices/nic.hh"
@@ -70,6 +73,28 @@ struct RunResult {
 
     std::uint64_t copied_word = 0;
 };
+
+/**
+ * The parallel engine emits bookkeeping instants on its own
+ * "sim.parallel" track (epoch_begin); they describe the engine, not
+ * the workload, and exist only when the scheduler is driving the loop,
+ * so the differential fingerprint excludes that track.
+ */
+std::string
+stripEngineTrack(const std::string &dump, std::uint64_t &removed)
+{
+    std::istringstream is(dump);
+    std::ostringstream os;
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.find(" sim.parallel ") != std::string::npos) {
+            ++removed;
+            continue;
+        }
+        os << line << '\n';
+    }
+    return os.str();
+}
 
 SocConfig
 cfg()
@@ -219,7 +244,9 @@ runMixedWorkload(unsigned threads)
     {
         std::ostringstream os;
         ring.dump(os);
-        r.trace = os.str();
+        std::uint64_t removed = 0;
+        r.trace = stripEngineTrack(os.str(), removed);
+        r.trace_events -= removed;
     }
 
     {
@@ -316,6 +343,203 @@ TEST(ParallelDifferential, MixedWorkloadBitIdenticalAcrossThreadCounts)
         // Unless SIOPMP_NO_PARALLEL vetoed it, the engine engaged.
         EXPECT_EQ(par.parallel, Simulator::parallelAllowed());
         expectIdentical(par, seq, threads);
+    }
+}
+
+/**
+ * Multi-cycle epoch differential: the same saturated workload on a
+ * boundary_latency=4 SoC (epoch cap 4), driven with fixed-length run()
+ * segments so the lookahead engages during the busy phases, across the
+ * (threads, epoch, fast-forward) grid. The oracle for each fast-forward
+ * setting is the sequential loop at the same topology; every point of
+ * the grid must match it bit-for-bit.
+ */
+RunResult
+runEpochWorkload(unsigned threads, Cycle epoch, bool fast_forward)
+{
+    SocConfig config = cfg();
+    config.boundary_latency = 4;
+    Soc soc(config);
+    soc.sim().setFastForward(fast_forward);
+    soc.sim().setEpoch(epoch);
+    soc.setThreads(threads);
+
+    dev::Nic nic("nic0", 1, soc.masterLink(0), nicCfg());
+    dev::Accelerator accel("nvdla0", 2, soc.masterLink(1));
+    dev::DmaEngine dma("dma0", 3, soc.masterLink(2));
+    dev::MaliciousDevice evil("evil0", 4, soc.masterLink(3));
+    soc.addDevice(&nic, 0);
+    soc.addDevice(&accel, 1);
+    soc.addDevice(&dma, 2);
+    soc.addDevice(&evil, 3);
+
+    trace::RingBufferSink ring(1u << 18);
+    trace::tracer().setSink(&ring);
+
+    auto &unit = soc.iopmp();
+    for (MdIndex md = 0; md < unit.config().num_mds; ++md)
+        unit.mdcfg().setTop(md, std::min(16u, (md + 1) * 4));
+    const struct {
+        Sid sid;
+        DeviceId device;
+        Addr base;
+    } binds[] = {{0, 1, kNicRegion},
+                 {1, 2, kAccelRegion},
+                 {2, 3, kDmaRegion},
+                 {3, 4, 0x8c00'0000}};
+    for (const auto &bind : binds) {
+        unit.cam().set(bind.sid, bind.device);
+        unit.src2md().associate(bind.sid, bind.sid);
+        unit.entryTable().set(
+            bind.sid * 4,
+            iopmp::Entry::range(bind.base, kRegionSize, Perm::ReadWrite));
+    }
+
+    for (unsigned i = 0; i < 2; ++i) {
+        soc.memory().write64(kNicRegion + i * 16, kNicRegion + 0x10000);
+        soc.memory().write64(kNicRegion + i * 16 + 8, 512);
+    }
+    nic.postTx(2);
+
+    dev::LayerJob layer;
+    layer.weights = kAccelRegion;
+    layer.inputs = kAccelRegion + 0x10'0000;
+    layer.outputs = kAccelRegion + 0x20'0000;
+    layer.tiles = 2;
+    layer.tile_bytes = 1024;
+    accel.start(layer, 0);
+
+    soc.memory().fill(kDmaRegion, 0x5a, 4096);
+    dev::DmaJob copy;
+    copy.kind = dev::DmaKind::Copy;
+    copy.src = kDmaRegion;
+    copy.dst = kDmaRegion + 0x10'0000;
+    copy.bytes = 4096;
+    copy.max_outstanding = 2;
+    dma.start(copy, 0);
+
+    dev::AttackPlan plan;
+    plan.kind = dev::AttackKind::ArbitraryScan;
+    plan.target_base = kNicRegion;
+    plan.target_size = 0x0c00'0000;
+    plan.probes = 24;
+    evil.startAttack(plan, 0);
+
+    soc.sim().events().schedule(400, [&] { unit.cam().invalidate(3); });
+    soc.sim().events().schedule(2600, [&] {
+        unit.cam().set(2, 3);
+        unit.src2md().associate(2, 2);
+    });
+
+    // ---- Phase 1 (fixed-length: run() is the lookahead driver) ----------
+    soc.sim().run(20'000);
+    RunResult r;
+    r.parallel = soc.sim().parallel();
+    EXPECT_TRUE(nic.txPackets() == 2 && accel.done() && dma.done() &&
+                evil.done());
+    r.phase1_end = soc.sim().now();
+
+    if (r.parallel) {
+        // The topology really derived a multi-cycle cap (the requested
+        // epoch clamps it further), and at epoch >= 2 the engine
+        // really batched cycles per barrier pair.
+        EXPECT_EQ(soc.sim().epochCap(),
+                  epoch == 0 ? Cycle{4} : std::min<Cycle>(4, epoch));
+        auto *sched = soc.sim().scheduler();
+        EXPECT_NE(sched, nullptr);
+        if (sched != nullptr && epoch >= 2) {
+            EXPECT_GT(sched->cyclesRun(), sched->epochsRun());
+        } else if (sched != nullptr) {
+            EXPECT_EQ(sched->cyclesRun(), sched->epochsRun());
+        }
+    }
+
+    // ---- Idle gap --------------------------------------------------------
+    soc.sim().run(50'000);
+
+    // ---- Phase 2 ---------------------------------------------------------
+    for (unsigned i = 0; i < 2; ++i) {
+        soc.memory().write64(kNicRegion + 0x1000 + i * 16,
+                             kNicRegion + 0x20000 + i * 0x1000);
+        soc.memory().write64(kNicRegion + 0x1000 + i * 16 + 8, 0);
+    }
+    nic.postRx(2);
+    nic.injectRxPacket(256, 0x77);
+    nic.injectRxPacket(128, 0x33);
+
+    dev::DmaJob readback;
+    readback.kind = dev::DmaKind::Read;
+    readback.src = kDmaRegion + 0x10'0000;
+    readback.bytes = 2048;
+    readback.max_outstanding = 4;
+    dma.start(readback, soc.sim().now());
+
+    soc.sim().run(20'000);
+    EXPECT_TRUE(nic.rxPackets() == 2 && dma.done());
+    r.phase2_end = soc.sim().now();
+
+    // ---- Idle tail -------------------------------------------------------
+    soc.sim().run(10'000);
+    r.final_now = soc.sim().now();
+
+    trace::tracer().setSink(nullptr);
+    r.trace_events = ring.totalRecorded();
+    {
+        std::ostringstream os;
+        ring.dump(os);
+        std::uint64_t removed = 0;
+        r.trace = stripEngineTrack(os.str(), removed);
+        r.trace_events -= removed;
+    }
+    {
+        std::ostringstream os;
+        stats::TextStatsWriter writer(os);
+        soc.accept(writer);
+        r.stats = os.str();
+    }
+
+    r.tx_packets = nic.txPackets();
+    r.rx_packets = nic.rxPackets();
+    r.rx_bytes = nic.rxBytes();
+    r.accel_acc = accel.accumulator();
+    r.tiles = accel.tilesCompleted();
+    r.dma_bytes = dma.bytesTransferred();
+    r.dma_done_at = dma.completedAt();
+    r.evil_leaked = evil.leakedWords();
+    r.evil_denied = evil.deniedAttacks();
+    r.evil_unflagged = evil.unflaggedWrites();
+
+    if (auto v = unit.violationRecord()) {
+        r.has_violation = true;
+        r.viol_addr = v->addr;
+        r.viol_device = v->device;
+        r.viol_when = v->when;
+    }
+    r.copied_word = soc.memory().read64(kDmaRegion + 0x10'0000);
+    return r;
+}
+
+TEST(ParallelDifferential, EpochGridBitIdenticalToSequentialOracle)
+{
+    for (const bool ff : {true, false}) {
+        SCOPED_TRACE(std::string("fast_forward=") + (ff ? "on" : "off"));
+        const RunResult seq = runEpochWorkload(0, 0, ff);
+        EXPECT_FALSE(seq.parallel);
+        EXPECT_EQ(seq.tx_packets, 2u);
+        EXPECT_EQ(seq.rx_packets, 2u);
+        EXPECT_EQ(seq.copied_word, 0x5a5a'5a5a'5a5a'5a5aULL);
+        EXPECT_TRUE(seq.has_violation);
+        EXPECT_EQ(seq.evil_leaked, 0u);
+
+        for (const unsigned threads : {1u, 4u}) {
+            for (const Cycle epoch : {Cycle{1}, Cycle{2}, Cycle{4}}) {
+                SCOPED_TRACE("epoch=" + std::to_string(epoch));
+                const RunResult par =
+                    runEpochWorkload(threads, epoch, ff);
+                EXPECT_EQ(par.parallel, Simulator::parallelAllowed());
+                expectIdentical(par, seq, threads);
+            }
+        }
     }
 }
 
@@ -461,6 +685,80 @@ TEST(ParallelDifferential, LegacyMidTickRemoveIsDeferred)
     EXPECT_EQ(victim.evals_, 4u);
     EXPECT_EQ(victim.advances_, 4u);
     EXPECT_EQ(sim.components(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Connectivity-driven auto-partitioning for hand-built Simulators.
+// ---------------------------------------------------------------------------
+
+TEST(AutoPartition, DerivesDomainsFromChannelGraph)
+{
+    Simulator sim;
+    CountingNode a("a", false);
+    CountingNode b("b", false);
+    CountingNode c("c", false);
+    CountingNode d("d", false);
+    CountingNode lone("lone", true); // no attributed channel
+    sim.add(&a);
+    sim.add(&b);
+    sim.add(&c);
+    sim.add(&d);
+    sim.add(&lone);
+
+    // a=b and c=d are tightly coupled (latency-1 channels); a->c is a
+    // 2-cycle registered boundary between the two groups.
+    bus::Fifo<int> ab(2, 1);
+    bus::Fifo<int> cd(2, 1);
+    bus::Fifo<int> ac(4, 2);
+    ab.setProducer(&a);
+    ab.setConsumer(&b);
+    cd.setProducer(&c);
+    cd.setConsumer(&d);
+    ac.setProducer(&a);
+    ac.setConsumer(&c);
+
+    EXPECT_EQ(sim.autoPartition(), 3u);
+    EXPECT_EQ(a.domain(), b.domain());
+    EXPECT_EQ(c.domain(), d.domain());
+    EXPECT_NE(a.domain(), c.domain());
+    EXPECT_NE(a.domain(), 0u);
+    EXPECT_NE(c.domain(), 0u);
+    EXPECT_EQ(lone.domain(), 0u); // unknown sharing: conservative home
+
+    // The partition is real lookahead topology: the only cross-domain
+    // channel is the 2-cycle boundary, so the derived epoch cap is 2.
+    sim.setThreads(2);
+    if (sim.parallel()) {
+        EXPECT_EQ(sim.epochCap(), 2u);
+    }
+}
+
+TEST(AutoPartition, PartialAttributionStaysConservative)
+{
+    Simulator sim;
+    CountingNode a("a", false);
+    CountingNode b("b", false);
+    sim.add(&a);
+    sim.add(&b);
+
+    // Producer side unattributed: the components must not be split
+    // apart (the channel cannot prove the coupling is registered), and
+    // the epoch cap must clamp to 1.
+    bus::Fifo<int> ab(4, 2);
+    ab.setConsumer(&b);
+
+    EXPECT_EQ(sim.autoPartition(), 1u);
+    EXPECT_EQ(a.domain(), 0u);
+    EXPECT_EQ(b.domain(), 0u);
+
+    ab.setProducer(&a);
+    sim.setDomain(&a, 1);
+    sim.setDomain(&b, 2);
+    ab.setConsumer(nullptr); // cross-domain channel, half attributed
+    sim.setThreads(2);
+    if (sim.parallel()) {
+        EXPECT_EQ(sim.epochCap(), 1u);
+    }
 }
 
 } // namespace

@@ -24,6 +24,13 @@
  *
  * Flags accepted by every command:
  *
+ *   --epoch N          process-wide requested epoch length for the
+ *                      parallel engine (sets SIOPMP_EPOCH; 0 = derive
+ *                      from the topology). Always clamped to the
+ *                      topology's cross-domain latency, so it is
+ *                      inert on combinational (latency-1) boundary
+ *                      links and never changes results; see
+ *                      docs/SIMULATION.md section 5.
  *   --accel MODE       check-path acceleration mode for every sIOPMP
  *                      the command builds: off | plans | plans+cache
  *                      (default: CheckAccel::defaultMode(), i.e. the
@@ -265,7 +272,7 @@ usage()
     std::fprintf(stderr,
                  "usage: siopmp-cli <latency|bandwidth|network|memcached|"
                  "hotcold|churn|freq> [flags]\n"
-                 "       [--accel off|plans|plans+cache]\n"
+                 "       [--accel off|plans|plans+cache] [--epoch N]\n"
                  "       [--trace-out FILE] [--stats-json FILE|-]\n"
                  "run with a command and no flags for sane defaults; see "
                  "the file header for flags.\n");
@@ -359,6 +366,14 @@ main(int argc, char **argv)
         }
         iopmp::CheckAccel::setDefaultMode(mode);
     }
+
+    // Process-wide epoch request: Simulator::defaultEpoch() reads the
+    // environment lazily at the first Simulator construction, which
+    // is after this point, so exporting the variable here is exactly
+    // equivalent to the user setting SIOPMP_EPOCH themselves.
+    const std::string epoch = args.value("--epoch", "");
+    if (!epoch.empty())
+        setenv("SIOPMP_EPOCH", epoch.c_str(), 1);
 
     const Observability observability(args);
     if (cmd == "latency")

@@ -9,7 +9,7 @@
  *               [--stages N] [--entries N] [--sids N] [--mds N]
  *               [--accel off|plans|plans+cache|default]
  *               [--profile default|churn] [--jobs N]
- *               [--replay CASE] [--inject lock-bypass|block-hole]
+ *               [--replay CASE] [--inject lock-bypass|block-hole|unbind-drop]
  *               [--trace-out FILE] [--stats-json FILE|-] [--verbose]
  *
  * Default campaign: for every checker kind and stage count (linear,
@@ -30,9 +30,7 @@
  * --accel forces the DUT's check-path acceleration mode (compiled
  * match plans, optionally plus the verdict cache — see
  * docs/PERFORMANCE.md) for every case; "default" defers to
- * CheckAccel::defaultMode() (SIOPMP_ACCEL_MODE / legacy
- * SIOPMP_NO_CHECK_CACHE). The old --cache on|off|default spelling is
- * a deprecated alias (on = plans+cache).
+ * CheckAccel::defaultMode() (SIOPMP_ACCEL_MODE).
  *
  * --profile churn switches the op mix to continuous high-rate table
  * mutation interleaved with checks — the workload the accelerator's
@@ -123,7 +121,7 @@ usage()
         "                   [--accel off|plans|plans+cache|default]\n"
         "                   [--profile default|churn] [--jobs N]\n"
         "                   [--replay CASE] [--inject "
-        "lock-bypass|block-hole]\n"
+        "lock-bypass|block-hole|unbind-drop]\n"
         "                   [--trace-out FILE] [--stats-json FILE|-] "
         "[--verbose]\n");
 }
@@ -171,6 +169,8 @@ installInjection(check::DifferentialFuzzer &fuzzer,
         injection = check::makeLockBypassInjection();
     } else if (inject == "block-hole") {
         injection = check::makeBlockHoleInjection();
+    } else if (inject == "unbind-drop") {
+        injection = check::makeUnbindDropInjection();
     } else {
         std::fprintf(stderr, "unknown injection '%s'\n", inject.c_str());
         std::exit(2);
@@ -307,7 +307,7 @@ main(int argc, char **argv)
     const auto stages = static_cast<unsigned>(args.number("--stages", 0));
     const std::string inject = args.value("--inject", "");
     if (!inject.empty() && inject != "lock-bypass" &&
-        inject != "block-hole") {
+        inject != "block-hole" && inject != "unbind-drop") {
         std::fprintf(stderr, "unknown injection '%s'\n", inject.c_str());
         return 2;
     }
@@ -322,7 +322,6 @@ main(int argc, char **argv)
     base.ops_per_case = static_cast<unsigned>(args.number("--ops", 96));
 
     const std::string accel = args.value("--accel", "");
-    const std::string cache = args.value("--cache", "");
     if (!accel.empty() && accel != "default") {
         iopmp::AccelMode mode;
         if (!iopmp::parseAccelMode(accel, &mode)) {
@@ -331,20 +330,6 @@ main(int argc, char **argv)
             return 2;
         }
         base.accel = mode;
-    } else if (!cache.empty()) {
-        // Deprecated spelling; kept so old scripts keep working.
-        std::fprintf(stderr,
-                     "note: --cache is deprecated; use --accel "
-                     "off|plans|plans+cache|default\n");
-        if (cache == "on") {
-            base.accel = iopmp::AccelMode::PlansAndCache;
-        } else if (cache == "off") {
-            base.accel = iopmp::AccelMode::Off;
-        } else if (cache != "default") {
-            std::fprintf(stderr, "unknown cache mode '%s'\n",
-                         cache.c_str());
-            return 2;
-        }
     }
 
     const std::string profile = args.value("--profile", "default");
